@@ -1,0 +1,39 @@
+//! End-to-end simulator throughput: the cost of one full dual-core mix
+//! under each headline scheme. These numbers gate how large the
+//! evaluation's run lengths can be.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nucache_sim::{run_mix, Scheme, SimConfig};
+use nucache_trace::{Mix, SpecWorkload};
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let config = SimConfig::baseline(2).with_run_lengths(10_000, 40_000);
+    let mix = Mix::new("bench", vec![SpecWorkload::SphinxLike, SpecWorkload::LibquantumLike]);
+    let mut group = c.benchmark_group("dual_core_50k_accesses");
+    group.sample_size(10);
+    for scheme in Scheme::headline_suite() {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| black_box(run_mix(&config, &mix, &scheme)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nucache_core_scaling");
+    group.sample_size(10);
+    for cores in [1usize, 2, 4] {
+        let config = SimConfig::baseline(cores).with_run_lengths(5_000, 20_000);
+        let workloads: Vec<SpecWorkload> =
+            SpecWorkload::ALL.iter().copied().cycle().take(cores).collect();
+        let mix = Mix::new(format!("scale{cores}"), workloads);
+        group.bench_function(format!("{cores}core_25k"), |b| {
+            b.iter(|| black_box(run_mix(&config, &mix, &Scheme::nucache_default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_core_scaling);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Substrate throughput: raw cost of one access through the tag array,
+//! the LRU cache, and the private hierarchy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nucache_bench::{drive_policy_cache, mixed_pattern};
+use nucache_cache::hierarchy::PrivateHierarchy;
+use nucache_cache::meta::LineMeta;
+use nucache_cache::policy::Lru;
+use nucache_cache::{BasicCache, CacheGeometry, SetArray};
+use nucache_common::{CoreId, Pc};
+use std::hint::black_box;
+
+fn bench_set_array(c: &mut Criterion) {
+    let geom = CacheGeometry::new(1024 * 1024, 16, 64);
+    let mut group = c.benchmark_group("set_array");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("find_hit", |b| {
+        let mut arr = SetArray::new(geom);
+        arr.fill(5, 7, LineMeta::new(42, CoreId::new(0), Pc::new(0), false));
+        b.iter(|| black_box(arr.find(black_box(5), black_box(42))));
+    });
+    group.bench_function("find_miss", |b| {
+        let arr = SetArray::new(geom);
+        b.iter(|| black_box(arr.find(black_box(5), black_box(42))));
+    });
+    group.finish();
+}
+
+fn bench_lru_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("basic_cache");
+    for assoc in [8usize, 16] {
+        let geom = CacheGeometry::new(1024 * 1024, assoc, 64);
+        let pattern = mixed_pattern(100_000, 8_000, 1);
+        group.throughput(Throughput::Elements(pattern.len() as u64));
+        group.bench_function(format!("lru_{assoc}way_100k"), |b| {
+            b.iter_batched_ref(
+                || BasicCache::new(geom, Lru::new(&geom)),
+                |cache| black_box(drive_policy_cache(cache, &pattern)),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_private_hierarchy(c: &mut Criterion) {
+    let l1 = CacheGeometry::new(32 * 1024, 8, 64);
+    let l2 = CacheGeometry::new(256 * 1024, 8, 64);
+    let pattern = mixed_pattern(100_000, 400, 2); // mostly L1/L2 hits
+    let mut group = c.benchmark_group("private_hierarchy");
+    group.throughput(Throughput::Elements(pattern.len() as u64));
+    group.bench_function("l1_l2_100k", |b| {
+        b.iter_batched_ref(
+            || PrivateHierarchy::new(CoreId::new(0), l1, l2),
+            |h| {
+                let mut llc_accesses = 0u64;
+                for &(line, pc) in &pattern {
+                    if h.access(pc, line, nucache_common::AccessKind::Read).reaches_llc() {
+                        llc_accesses += 1;
+                    }
+                }
+                black_box(llc_accesses)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_array, bench_lru_cache, bench_private_hierarchy);
+criterion_main!(benches);

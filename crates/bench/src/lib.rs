@@ -1,0 +1,96 @@
+//! Benchmark support for the NUcache reproduction.
+//!
+//! The Criterion benches live under `benches/`; this library holds the
+//! shared drivers so each bench file stays declarative:
+//!
+//! * [`drive_policy_cache`] — replay a canned access pattern against a
+//!   policy cache and return its hit count;
+//! * [`drive_shared_llc`] — the same against any [`SharedLlc`];
+//! * [`mixed_pattern`] — the loop+scan pattern used across policy
+//!   benches, pre-generated so benches measure the cache, not the RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nucache_cache::{BasicCache, ReplacementPolicy, SharedLlc};
+use nucache_common::{AccessKind, CoreId, DetRng, LineAddr, Pc};
+
+/// One pre-generated access: line plus attributed PC.
+pub type CannedAccess = (LineAddr, Pc);
+
+/// A loop-plus-scan pattern of `n` accesses over `loop_lines` reusable
+/// lines, with one scan access every third step — the canonical
+/// retention workload used throughout the benches.
+pub fn mixed_pattern(n: usize, loop_lines: u64, seed: u64) -> Vec<CannedAccess> {
+    let mut rng = DetRng::substream(seed, 0xbe9c);
+    let mut out = Vec::with_capacity(n);
+    let mut scan = 1u64 << 30;
+    for i in 0..n {
+        if i % 3 == 2 {
+            out.push((LineAddr::new(scan), Pc::new(0x200)));
+            scan += 1;
+        } else {
+            // Mostly sequential loop with occasional random jumps so the
+            // pattern is not trivially prefetchable.
+            let line = if rng.chance(0.05) {
+                rng.below(loop_lines)
+            } else {
+                (i as u64) % loop_lines
+            };
+            out.push((LineAddr::new(line), Pc::new(0x100)));
+        }
+    }
+    out
+}
+
+/// Replays `pattern` against a policy cache; returns hits (as a
+/// black-boxable value).
+pub fn drive_policy_cache<P: ReplacementPolicy>(
+    cache: &mut BasicCache<P>,
+    pattern: &[CannedAccess],
+) -> u64 {
+    let core = CoreId::new(0);
+    let mut hits = 0;
+    for &(line, pc) in pattern {
+        if cache.access(line, AccessKind::Read, core, pc).is_hit() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Replays `pattern` against a shared LLC; returns hits.
+pub fn drive_shared_llc(llc: &mut dyn SharedLlc, pattern: &[CannedAccess]) -> u64 {
+    let core = CoreId::new(0);
+    let mut hits = 0;
+    for &(line, pc) in pattern {
+        if llc.access(core, pc, line, AccessKind::Read).is_hit() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucache_cache::policy::Lru;
+    use nucache_cache::CacheGeometry;
+
+    #[test]
+    fn pattern_is_deterministic_and_sized() {
+        let a = mixed_pattern(1000, 64, 1);
+        let b = mixed_pattern(1000, 64, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn drivers_count_hits() {
+        let geom = CacheGeometry::new(64 * 1024, 8, 64);
+        let mut cache = BasicCache::new(geom, Lru::new(&geom));
+        let pattern = mixed_pattern(10_000, 128, 2);
+        let hits = drive_policy_cache(&mut cache, &pattern);
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Raw tag storage: the `SetArray` every cache organization builds on.
+
+use crate::config::CacheGeometry;
+use crate::meta::{EvictedLine, LineMeta};
+use nucache_common::LineAddr;
+
+/// Tag/metadata storage for a set-associative structure, with no
+/// replacement policy of its own.
+///
+/// Organizations (classic caches, UCP/PIPP variants, NUcache's
+/// MainWays/DeliWays) keep their ordering state elsewhere and use this
+/// array for the mechanical parts: tag match, fill into a way, invalidate,
+/// dirty-bit maintenance.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_cache::{CacheGeometry, SetArray};
+/// use nucache_cache::meta::LineMeta;
+/// use nucache_common::{CoreId, LineAddr, Pc};
+///
+/// let geom = CacheGeometry::new(8 * 1024, 4, 64);
+/// let mut arr = SetArray::new(geom);
+/// let line = LineAddr::new(0x10);
+/// let (set, tag) = (geom.set_of(line), geom.tag_of(line));
+/// assert!(arr.find(set, tag).is_none());
+/// arr.fill(set, 0, LineMeta::new(tag, CoreId::new(0), Pc::new(0), false));
+/// assert_eq!(arr.find(set, tag), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetArray {
+    geom: CacheGeometry,
+    // sets[set * assoc + way]
+    frames: Vec<Option<LineMeta>>,
+}
+
+impl SetArray {
+    /// Creates an empty array for the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        SetArray { geom, frames: vec![None; geom.num_lines()] }
+    }
+
+    /// The geometry this array was built for.
+    pub const fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        debug_assert!(set < self.geom.num_sets(), "set index out of range");
+        set * self.geom.associativity()
+    }
+
+    /// The frames of one set, indexed by way.
+    pub fn set(&self, set: usize) -> &[Option<LineMeta>] {
+        let b = self.base(set);
+        &self.frames[b..b + self.geom.associativity()]
+    }
+
+    /// Way holding `tag` in `set`, if resident.
+    pub fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        self.set(set).iter().position(|f| matches!(f, Some(m) if m.tag == tag))
+    }
+
+    /// First invalid way in `set`, if any.
+    pub fn invalid_way(&self, set: usize) -> Option<usize> {
+        self.set(set).iter().position(Option::is_none)
+    }
+
+    /// Number of valid lines in `set`.
+    pub fn occupancy(&self, set: usize) -> usize {
+        self.set(set).iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Metadata at `(set, way)`.
+    pub fn get(&self, set: usize, way: usize) -> Option<&LineMeta> {
+        self.frames[self.base(set) + way].as_ref()
+    }
+
+    /// Mutable metadata at `(set, way)`.
+    pub fn get_mut(&mut self, set: usize, way: usize) -> Option<&mut LineMeta> {
+        let i = self.base(set) + way;
+        self.frames[i].as_mut()
+    }
+
+    /// Writes `meta` into `(set, way)`, returning the displaced line (as an
+    /// [`EvictedLine`] with its full address reconstructed) if the frame
+    /// was valid.
+    pub fn fill(&mut self, set: usize, way: usize, meta: LineMeta) -> Option<EvictedLine> {
+        let i = self.base(set) + way;
+        let old = self.frames[i].replace(meta);
+        old.map(|m| self.to_evicted(set, m))
+    }
+
+    /// Invalidates `(set, way)`, returning the line that was there.
+    pub fn invalidate(&mut self, set: usize, way: usize) -> Option<EvictedLine> {
+        let i = self.base(set) + way;
+        let old = self.frames[i].take();
+        old.map(|m| self.to_evicted(set, m))
+    }
+
+    /// Marks `(set, way)` dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is invalid — callers only mark lines they just
+    /// hit or filled.
+    pub fn mark_dirty(&mut self, set: usize, way: usize) {
+        self.get_mut(set, way).expect("marking an invalid frame dirty").dirty = true;
+    }
+
+    /// Reconstructs the full line address of the line at `(set, way)`.
+    pub fn line_addr(&self, set: usize, way: usize) -> Option<LineAddr> {
+        self.get(set, way).map(|m| self.geom.line_of(m.tag, set))
+    }
+
+    /// Total valid lines across all sets.
+    pub fn total_occupancy(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_some()).count()
+    }
+
+    fn to_evicted(&self, set: usize, m: LineMeta) -> EvictedLine {
+        EvictedLine { line: self.geom.line_of(m.tag, set), dirty: m.dirty, core: m.core, pc: m.pc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucache_common::{CoreId, Pc};
+
+    fn small() -> (CacheGeometry, SetArray) {
+        let g = CacheGeometry::new(1024, 4, 64); // 4 sets x 4 ways
+        (g, SetArray::new(g))
+    }
+
+    fn meta(tag: u64) -> LineMeta {
+        LineMeta::new(tag, CoreId::new(0), Pc::new(0), false)
+    }
+
+    #[test]
+    fn fill_find_invalidate_cycle() {
+        let (_, mut arr) = small();
+        assert_eq!(arr.find(0, 7), None);
+        assert_eq!(arr.fill(0, 2, meta(7)), None);
+        assert_eq!(arr.find(0, 7), Some(2));
+        assert_eq!(arr.occupancy(0), 1);
+        let ev = arr.invalidate(0, 2).unwrap();
+        assert!(!ev.dirty);
+        assert_eq!(arr.find(0, 7), None);
+    }
+
+    #[test]
+    fn fill_reports_displaced_line() {
+        let (g, mut arr) = small();
+        arr.fill(1, 0, meta(5));
+        arr.mark_dirty(1, 0);
+        let ev = arr.fill(1, 0, meta(9)).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.line, g.line_of(5, 1));
+    }
+
+    #[test]
+    fn invalid_way_scans_in_order() {
+        let (_, mut arr) = small();
+        arr.fill(3, 0, meta(1));
+        arr.fill(3, 1, meta(2));
+        assert_eq!(arr.invalid_way(3), Some(2));
+        arr.fill(3, 2, meta(3));
+        arr.fill(3, 3, meta(4));
+        assert_eq!(arr.invalid_way(3), None);
+    }
+
+    #[test]
+    fn line_addr_reconstruction() {
+        let (g, mut arr) = small();
+        let line = LineAddr::new(0x1234);
+        let (set, tag) = (g.set_of(line), g.tag_of(line));
+        arr.fill(set, 1, meta(tag));
+        assert_eq!(arr.line_addr(set, 1), Some(line));
+        assert_eq!(arr.line_addr(set, 0), None);
+    }
+
+    #[test]
+    fn total_occupancy_counts_everything() {
+        let (_, mut arr) = small();
+        arr.fill(0, 0, meta(1));
+        arr.fill(1, 1, meta(2));
+        arr.fill(2, 2, meta(3));
+        assert_eq!(arr.total_occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frame")]
+    fn mark_dirty_requires_valid() {
+        let (_, mut arr) = small();
+        arr.mark_dirty(0, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-core private cache hierarchy (L1 + L2) in front of the shared LLC.
+//!
+//! The private levels filter the access stream: only L2 misses (and dirty
+//! L2 victims, as write-backs) reach the shared LLC, which is where every
+//! scheme under study lives. Both levels are LRU and write-back /
+//! write-allocate. The hierarchy is non-inclusive non-exclusive
+//! ("mostly-inclusive"), the common design point for this literature:
+//! lines are filled into both levels on the way in, but an eviction at an
+//! outer level does not back-invalidate inner ones.
+
+use crate::basic::BasicCache;
+use crate::config::CacheGeometry;
+use crate::policy::Lru;
+use nucache_common::{AccessKind, CacheStats, CoreId, LineAddr, Pc};
+
+/// Where a private-hierarchy access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivateOutcome {
+    /// Hit in the L1.
+    L1Hit,
+    /// Missed L1, hit L2.
+    L2Hit,
+    /// Missed both: the access must be sent to the shared LLC. Carries a
+    /// dirty L2 victim (a write-back toward the LLC) if the L2 fill
+    /// displaced one.
+    LlcAccess {
+        /// Dirty line displaced from the L2 by this fill, if any.
+        writeback: Option<LineAddr>,
+    },
+}
+
+impl PrivateOutcome {
+    /// `true` when the access must continue to the shared LLC.
+    pub const fn reaches_llc(&self) -> bool {
+        matches!(self, PrivateOutcome::LlcAccess { .. })
+    }
+}
+
+/// One core's private L1 + L2 stack.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_cache::hierarchy::PrivateHierarchy;
+/// use nucache_cache::CacheGeometry;
+/// use nucache_common::{AccessKind, CoreId, LineAddr, Pc};
+///
+/// let l1 = CacheGeometry::new(32 * 1024, 8, 64);
+/// let l2 = CacheGeometry::new(256 * 1024, 8, 64);
+/// let mut h = PrivateHierarchy::new(CoreId::new(0), l1, l2);
+/// let out = h.access(Pc::new(1), LineAddr::new(10), AccessKind::Read);
+/// assert!(out.reaches_llc());
+/// assert!(!h.access(Pc::new(1), LineAddr::new(10), AccessKind::Read).reaches_llc());
+/// ```
+#[derive(Debug)]
+pub struct PrivateHierarchy {
+    core: CoreId,
+    l1: BasicCache<Lru>,
+    l2: BasicCache<Lru>,
+}
+
+impl PrivateHierarchy {
+    /// Creates an empty private stack for `core`.
+    pub fn new(core: CoreId, l1_geom: CacheGeometry, l2_geom: CacheGeometry) -> Self {
+        PrivateHierarchy {
+            core,
+            l1: BasicCache::new(l1_geom, Lru::new(&l1_geom)),
+            l2: BasicCache::new(l2_geom, Lru::new(&l2_geom)),
+        }
+    }
+
+    /// The owning core.
+    pub const fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// L1 counters.
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 counters.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Resets both levels' counters (contents retained).
+    pub fn reset_stats(&mut self) {
+        self.l1.clear_stats();
+        self.l2.clear_stats();
+    }
+
+    /// Runs one access through L1 then L2.
+    pub fn access(&mut self, pc: Pc, line: LineAddr, kind: AccessKind) -> PrivateOutcome {
+        let l1_out = self.l1.access(line, kind, self.core, pc);
+        if l1_out.is_hit() {
+            return PrivateOutcome::L1Hit;
+        }
+        // A dirty L1 victim is absorbed by the L2 (write-back path): mark
+        // the line dirty there if resident; if it already left the L2 the
+        // write-back proceeds downstream invisibly for our purposes.
+        if let Some(ev) = l1_out.evicted() {
+            if ev.dirty {
+                self.l2_absorb_writeback(ev.line);
+            }
+        }
+        let l2_out = self.l2.access(line, kind, self.core, pc);
+        if l2_out.is_hit() {
+            return PrivateOutcome::L2Hit;
+        }
+        let writeback = l2_out.evicted().filter(|ev| ev.dirty).map(|ev| ev.line);
+        PrivateOutcome::LlcAccess { writeback }
+    }
+
+    fn l2_absorb_writeback(&mut self, line: LineAddr) {
+        let geom = *self.l2.geometry();
+        let set = geom.set_of(line);
+        if self.l2.array().find(set, geom.tag_of(line)).is_some() {
+            // Re-access as a write so the line is marked dirty; this also
+            // (reasonably) refreshes its recency.
+            self.l2.access(line, AccessKind::Write, self.core, Pc::new(0));
+        }
+    }
+
+    /// Total demand accesses seen at L1.
+    pub fn demand_accesses(&self) -> u64 {
+        self.l1.stats().accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PrivateHierarchy {
+        // L1: 1 set x 2 ways; L2: 2 sets x 2 ways.
+        PrivateHierarchy::new(
+            CoreId::new(0),
+            CacheGeometry::new(64 * 2, 2, 64),
+            CacheGeometry::new(64 * 4, 2, 64),
+        )
+    }
+
+    fn read(h: &mut PrivateHierarchy, n: u64) -> PrivateOutcome {
+        h.access(Pc::new(1), LineAddr::new(n), AccessKind::Read)
+    }
+
+    #[test]
+    fn levels_filter_in_order() {
+        let mut h = tiny();
+        assert!(read(&mut h, 0).reaches_llc());
+        assert_eq!(read(&mut h, 0), PrivateOutcome::L1Hit);
+        // Push 0 out of the single-set L1 with lines 2 and 3; in the
+        // 2-set L2, line 3 maps to the other set, so 0 stays resident.
+        read(&mut h, 2);
+        read(&mut h, 3);
+        assert_eq!(read(&mut h, 0), PrivateOutcome::L2Hit);
+    }
+
+    #[test]
+    fn l2_victims_surface_as_writebacks_only_when_dirty() {
+        let mut h = tiny();
+        // Dirty line 0 in both levels.
+        h.access(Pc::new(1), LineAddr::new(0), AccessKind::Write);
+        // L1 evicts 0 (dirty) while L2 still holds it -> absorbed.
+        h.access(Pc::new(1), LineAddr::new(2), AccessKind::Read);
+        h.access(Pc::new(1), LineAddr::new(4), AccessKind::Read);
+        // Now force L2 set 0 (lines 0,2,4 map there: set = line & 1...).
+        // Lines 0,2,4 are all even => L2 set 0. Line 4's fill already
+        // displaced one of {0,2}; keep pushing until the dirty 0 leaves.
+        let mut saw_dirty_wb = false;
+        for n in [6u64, 8, 10] {
+            if let PrivateOutcome::LlcAccess { writeback: Some(wb) } = read(&mut h, n) {
+                if wb == LineAddr::new(0) {
+                    saw_dirty_wb = true;
+                }
+            }
+        }
+        assert!(saw_dirty_wb, "dirty L2 victim must surface as a write-back");
+    }
+
+    #[test]
+    fn clean_victims_produce_no_writebacks() {
+        let mut h = tiny();
+        for n in (0..20).map(|k| k * 2) {
+            if let PrivateOutcome::LlcAccess { writeback } = read(&mut h, n) {
+                assert_eq!(writeback, None, "all lines are clean");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reset_keeps_contents() {
+        let mut h = tiny();
+        read(&mut h, 0);
+        h.reset_stats();
+        assert_eq!(h.demand_accesses(), 0);
+        assert_eq!(read(&mut h, 0), PrivateOutcome::L1Hit);
+    }
+}

@@ -1,0 +1,156 @@
+//! The shared-LLC interface and the classic (policy-only) organization.
+
+use crate::basic::BasicCache;
+use crate::config::CacheGeometry;
+use crate::meta::AccessOutcome;
+use crate::policy::ReplacementPolicy;
+use nucache_common::{AccessKind, CacheStats, CoreId, LineAddr, Pc};
+
+/// A shared last-level cache organization.
+///
+/// Every LLC scheme in the workspace — the LRU baseline, DIP/DRRIP/TADIP
+/// insertion policies, UCP/PIPP way partitioning, and NUcache itself —
+/// implements this trait, so the simulation driver and the experiment
+/// binaries swap schemes freely.
+///
+/// Implementations maintain both aggregate and per-core hit/miss counters;
+/// `access` returns the outcome so callers can model timing and propagate
+/// evictions.
+pub trait SharedLlc {
+    /// Performs one demand access from `core`/`pc` to `line`.
+    fn access(&mut self, core: CoreId, pc: Pc, line: LineAddr, kind: AccessKind) -> AccessOutcome;
+
+    /// Aggregate counters since construction (or the last reset).
+    fn stats(&self) -> &CacheStats;
+
+    /// Per-core counters, indexed by core id.
+    fn core_stats(&self) -> &[CacheStats];
+
+    /// Resets all counters (contents are retained, mirroring how warmup is
+    /// excluded from measurement).
+    fn reset_stats(&mut self);
+
+    /// The LLC geometry.
+    fn geometry(&self) -> &CacheGeometry;
+
+    /// Scheme name as it appears in tables (e.g. `"lru"`, `"ucp"`,
+    /// `"nucache"`).
+    fn scheme_name(&self) -> String;
+}
+
+/// A classic shared LLC: one [`BasicCache`] with a replacement policy and
+/// per-core accounting on top.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_cache::{CacheGeometry, ClassicLlc, SharedLlc, policy::Lru};
+/// use nucache_common::{AccessKind, CoreId, LineAddr, Pc};
+///
+/// let geom = CacheGeometry::new(1024 * 1024, 16, 64);
+/// let mut llc = ClassicLlc::new(geom, Lru::new(&geom), 2);
+/// llc.access(CoreId::new(1), Pc::new(0x400), LineAddr::new(7), AccessKind::Read);
+/// assert_eq!(llc.core_stats()[1].misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct ClassicLlc<P> {
+    cache: BasicCache<P>,
+    core_stats: Vec<CacheStats>,
+}
+
+impl<P: ReplacementPolicy> ClassicLlc<P> {
+    /// Creates a classic LLC for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(geom: CacheGeometry, policy: P, num_cores: usize) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        ClassicLlc {
+            cache: BasicCache::new(geom, policy),
+            core_stats: vec![CacheStats::default(); num_cores],
+        }
+    }
+
+    /// The wrapped cache (for policy introspection in tests).
+    pub fn cache(&self) -> &BasicCache<P> {
+        &self.cache
+    }
+}
+
+impl<P: ReplacementPolicy> SharedLlc for ClassicLlc<P> {
+    fn access(&mut self, core: CoreId, pc: Pc, line: LineAddr, kind: AccessKind) -> AccessOutcome {
+        let out = self.cache.access(line, kind, core, pc);
+        let cs = &mut self.core_stats[core.index()];
+        if out.is_hit() {
+            cs.record_hit();
+        } else {
+            cs.record_miss();
+        }
+        out
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    fn core_stats(&self) -> &[CacheStats] {
+        &self.core_stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.cache.clear_stats();
+        self.core_stats.iter_mut().for_each(CacheStats::clear);
+    }
+
+    fn geometry(&self) -> &CacheGeometry {
+        self.cache.geometry()
+    }
+
+    fn scheme_name(&self) -> String {
+        self.cache.policy().name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Lru;
+
+    fn llc() -> ClassicLlc<Lru> {
+        let g = CacheGeometry::new(64 * 2 * 4, 2, 64); // 4 sets, 2-way
+        ClassicLlc::new(g, Lru::new(&g), 2)
+    }
+
+    #[test]
+    fn per_core_attribution() {
+        let mut l = llc();
+        l.access(CoreId::new(0), Pc::new(1), LineAddr::new(1), AccessKind::Read);
+        l.access(CoreId::new(1), Pc::new(2), LineAddr::new(1), AccessKind::Read);
+        assert_eq!(l.core_stats()[0].misses, 1);
+        assert_eq!(l.core_stats()[1].hits, 1);
+        assert_eq!(l.stats().accesses(), 2);
+    }
+
+    #[test]
+    fn reset_preserves_contents() {
+        let mut l = llc();
+        l.access(CoreId::new(0), Pc::new(1), LineAddr::new(1), AccessKind::Read);
+        l.reset_stats();
+        assert_eq!(l.stats().accesses(), 0);
+        let out = l.access(CoreId::new(0), Pc::new(1), LineAddr::new(1), AccessKind::Read);
+        assert!(out.is_hit(), "contents must survive a stats reset");
+    }
+
+    #[test]
+    fn scheme_name_matches_policy() {
+        assert_eq!(llc().scheme_name(), "lru");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let g = CacheGeometry::new(1024, 2, 64);
+        let _ = ClassicLlc::new(g, Lru::new(&g), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-line metadata and access outcomes.
+
+use nucache_common::{CoreId, LineAddr, Pc};
+
+/// Metadata for one resident cache line.
+///
+/// Besides the tag and dirty bit, every line remembers the core and the
+/// static instruction (PC) that allocated it — NUcache and the
+/// partitioning baselines all key decisions on one or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Tag bits (line address with set-index bits stripped).
+    pub tag: u64,
+    /// Whether the line has been written since it was filled.
+    pub dirty: bool,
+    /// Core whose miss allocated the line.
+    pub core: CoreId,
+    /// Static instruction whose miss allocated the line.
+    pub pc: Pc,
+}
+
+impl LineMeta {
+    /// Creates metadata for a freshly filled line.
+    pub const fn new(tag: u64, core: CoreId, pc: Pc, dirty: bool) -> Self {
+        LineMeta { tag, dirty, core, pc }
+    }
+}
+
+/// A line pushed out of the cache, reported to the caller so outer layers
+/// (write-back accounting, DeliWays admission, Next-Use monitoring) can
+/// react.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Full line address of the victim.
+    pub line: LineAddr,
+    /// Whether the victim was dirty (needs a write-back).
+    pub dirty: bool,
+    /// Core that had allocated the victim.
+    pub core: CoreId,
+    /// PC that had allocated the victim.
+    pub pc: Pc,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled; `evicted` reports the
+    /// victim if the fill displaced a valid line.
+    Miss {
+        /// Victim displaced by the fill, if any.
+        evicted: Option<EvictedLine>,
+    },
+}
+
+impl AccessOutcome {
+    /// `true` on [`AccessOutcome::Hit`].
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// `true` on [`AccessOutcome::Miss`].
+    pub const fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+
+    /// The displaced victim, if this was a miss that evicted one.
+    pub const fn evicted(&self) -> Option<EvictedLine> {
+        match self {
+            AccessOutcome::Hit => None,
+            AccessOutcome::Miss { evicted } => *evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(AccessOutcome::Hit.is_hit());
+        assert!(!AccessOutcome::Hit.is_miss());
+        let miss = AccessOutcome::Miss { evicted: None };
+        assert!(miss.is_miss());
+        assert_eq!(miss.evicted(), None);
+    }
+
+    #[test]
+    fn evicted_passthrough() {
+        let ev = EvictedLine {
+            line: LineAddr::new(42),
+            dirty: true,
+            core: CoreId::new(1),
+            pc: Pc::new(0x400),
+        };
+        let miss = AccessOutcome::Miss { evicted: Some(ev) };
+        assert_eq!(miss.evicted(), Some(ev));
+        assert_eq!(AccessOutcome::Hit.evicted(), None);
+    }
+
+    #[test]
+    fn line_meta_ctor() {
+        let m = LineMeta::new(7, CoreId::new(2), Pc::new(3), false);
+        assert_eq!(m.tag, 7);
+        assert!(!m.dirty);
+    }
+}

@@ -1,0 +1,108 @@
+//! Replacement policies for [`BasicCache`](crate::BasicCache).
+//!
+//! A policy owns all of its per-set ordering state (recency stamps, RRPV
+//! counters, PLRU trees, …) and reacts to three events the cache reports:
+//! hit, fill, and miss-without-fill-yet. The cache itself handles the
+//! mechanics of tag match and prefers invalid ways on fills; a policy is
+//! only consulted for a victim when the set is full.
+//!
+//! Implemented policies:
+//!
+//! | Policy | Module | Origin |
+//! |---|---|---|
+//! | LRU | [`lru`] | classic |
+//! | FIFO | [`fifo`] | classic |
+//! | Random | [`random`] | classic |
+//! | NRU | [`nru`] | classic (single reference bit) |
+//! | Tree-PLRU | [`plru`] | classic |
+//! | LIP / BIP / DIP | [`dip`] | Qureshi et al., ISCA 2007 |
+//! | SRRIP / BRRIP / DRRIP | [`rrip`] | Jaleel et al., ISCA 2010 |
+//! | SHiP-PC | [`ship`] | Wu et al., MICRO 2011 (post-dates NUcache; extra comparison point) |
+//! | TADIP-F | [`tadip`] | Jaleel et al., PACT 2008 |
+
+pub mod dip;
+pub mod fifo;
+pub mod lru;
+pub mod nru;
+pub mod plru;
+pub mod random;
+pub mod rrip;
+pub mod ship;
+pub mod tadip;
+
+pub use dip::{Bip, Dip, Lip};
+pub use fifo::Fifo;
+pub use lru::Lru;
+pub use nru::Nru;
+pub use plru::TreePlru;
+pub use random::RandomEvict;
+pub use rrip::{Brrip, Drrip, Srrip};
+pub use ship::ShipPc;
+pub use tadip::TadipF;
+
+use nucache_common::{CoreId, Pc};
+
+/// Context a policy receives when a line is filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillCtx {
+    /// Core whose miss triggered the fill.
+    pub core: CoreId,
+    /// PC whose miss triggered the fill.
+    pub pc: Pc,
+}
+
+impl FillCtx {
+    /// Creates a fill context.
+    pub const fn new(core: CoreId, pc: Pc) -> Self {
+        FillCtx { core, pc }
+    }
+}
+
+/// A cache replacement policy.
+///
+/// Implementations are constructed against a concrete
+/// [`CacheGeometry`](crate::CacheGeometry) and keep per-set state sized
+/// accordingly. All methods take `set`/`way` indices that the caller
+/// guarantees in range.
+pub trait ReplacementPolicy {
+    /// Called on every demand hit at `(set, way)`.
+    fn on_hit(&mut self, set: usize, way: usize);
+
+    /// Called when a line is installed at `(set, way)`.
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &FillCtx);
+
+    /// Called on every demand miss to `set` (before the fill), so
+    /// dueling-based policies can update their selectors.
+    fn on_miss(&mut self, _set: usize, _ctx: &FillCtx) {}
+
+    /// Chooses the way to evict from a full `set`.
+    fn victim(&mut self, set: usize) -> usize;
+
+    /// Called when an external actor invalidates `(set, way)`.
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+
+    /// Short human-readable policy name (e.g. `"lru"`, `"drrip"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared harness for exercising policies through a tiny cache.
+
+    use super::*;
+    use crate::basic::BasicCache;
+    use crate::config::CacheGeometry;
+    use nucache_common::{AccessKind, LineAddr};
+
+    /// 1-set geometry with the given associativity (64B blocks).
+    pub fn one_set(assoc: usize) -> CacheGeometry {
+        CacheGeometry::new(64 * assoc as u64, assoc, 64)
+    }
+
+    /// Accesses line number `n` (sets are ignored: single-set geometry).
+    pub fn touch<P: ReplacementPolicy>(cache: &mut BasicCache<P>, n: u64) -> bool {
+        cache
+            .access(LineAddr::new(n), AccessKind::Read, CoreId::new(0), Pc::new(n))
+            .is_hit()
+    }
+}

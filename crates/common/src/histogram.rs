@@ -1,0 +1,275 @@
+//! Geometric (power-of-two) histograms.
+//!
+//! The Next-Use monitor records per-PC distributions of Next-Use distances.
+//! Distances span several orders of magnitude, so buckets grow
+//! geometrically: bucket `i` covers `[2^(i-1), 2^i)` for `i >= 1`, and
+//! bucket 0 covers the single value 0. The structure supports the two
+//! queries the PC-selection algorithm needs: total mass and mass at or
+//! below a threshold (with linear interpolation inside the boundary
+//! bucket).
+
+/// A histogram with power-of-two bucket boundaries over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_common::Log2Histogram;
+/// let mut h = Log2Histogram::new(16);
+/// h.record(3);
+/// h.record(100);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.count_le(10), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    overflow: u64,
+}
+
+impl Log2Histogram {
+    /// Creates a histogram with `num_buckets` buckets. Samples of
+    /// `2^(num_buckets-1)` or more land in a dedicated overflow counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets` is 0 or greater than 64.
+    pub fn new(num_buckets: usize) -> Self {
+        assert!(num_buckets > 0 && num_buckets <= 64, "bucket count must be in 1..=64");
+        Log2Histogram { buckets: vec![0; num_buckets], total: 0, overflow: 0 }
+    }
+
+    /// Number of regular (non-overflow) buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Index of the bucket a sample falls into, or `None` for overflow.
+    fn bucket_of(&self, sample: u64) -> Option<usize> {
+        let idx = if sample == 0 { 0 } else { 64 - (sample.leading_zeros() as usize) };
+        if idx < self.buckets.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        match self.bucket_of(sample) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.total += 1;
+    }
+
+    /// Records `weight` identical samples.
+    pub fn record_n(&mut self, sample: u64, weight: u64) {
+        match self.bucket_of(sample) {
+            Some(i) => self.buckets[i] += weight,
+            None => self.overflow += weight,
+        }
+        self.total += weight;
+    }
+
+    /// Total number of recorded samples (including overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that exceeded the largest bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Raw bucket counts (excluding overflow). Bucket `i >= 1` covers
+    /// `[2^(i-1), 2^i)`; bucket 0 holds zeros.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Estimated number of samples `<= threshold`.
+    ///
+    /// Buckets entirely at or below the threshold count fully; the bucket
+    /// containing the threshold contributes a linearly interpolated share.
+    /// This is the quantity the cost-benefit selector uses as "hits gained
+    /// if retained for `threshold` more accesses".
+    pub fn count_le(&self, threshold: u64) -> u64 {
+        let mut acc = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            let (lo, hi) = Self::bucket_range(i);
+            if hi <= threshold {
+                acc += count;
+            } else if lo <= threshold {
+                // Partial bucket: interpolate. Bucket spans [lo, hi).
+                let span = hi - lo;
+                let covered = threshold - lo + 1;
+                acc += count * covered / span;
+            } else {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// `[lo, hi)` value range of bucket `i` (bucket 0 is `[0,1)`).
+    fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (i - 1), 1u64 << i)
+        }
+    }
+
+    /// Empties the histogram.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.total = 0;
+        self.overflow = 0;
+    }
+
+    /// Halves every counter (including overflow), used for exponential
+    /// decay across selection epochs so stale behaviour ages out.
+    pub fn decay(&mut self) {
+        let mut new_total = self.overflow / 2;
+        self.overflow /= 2;
+        for b in &mut self.buckets {
+            *b /= 2;
+            new_total += *b;
+        }
+        self.total = new_total;
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Approximate p-quantile of the distribution (`0.0..=1.0`), using the
+    /// upper edge of the bucket where the quantile falls. Returns `None`
+    /// for an empty histogram or when the quantile lands in overflow.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return Some(Self::bucket_range(i).1 - 1);
+            }
+        }
+        None
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        let mut h = Log2Histogram::new(8);
+        h.record(0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.count_le(0), 1);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        let mut h = Log2Histogram::new(8);
+        h.record(1); // bucket 1: [1,2)
+        h.record(2); // bucket 2: [2,4)
+        h.record(3); // bucket 2
+        h.record(4); // bucket 3: [4,8)
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1);
+    }
+
+    #[test]
+    fn overflow_counts_in_total() {
+        let mut h = Log2Histogram::new(4); // largest bucket [4,8)
+        h.record(8);
+        h.record(1_000_000);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count_le(u64::MAX), 0, "overflow never counted as covered");
+    }
+
+    #[test]
+    fn count_le_full_and_partial() {
+        let mut h = Log2Histogram::new(16);
+        h.record_n(10, 100); // bucket 4: [8,16)
+        assert_eq!(h.count_le(7), 0);
+        assert_eq!(h.count_le(15), 100);
+        let partial = h.count_le(11);
+        assert!(partial > 0 && partial < 100, "interpolated share expected, got {partial}");
+    }
+
+    #[test]
+    fn decay_halves_mass() {
+        let mut h = Log2Histogram::new(8);
+        h.record_n(3, 10);
+        h.record_n(1000, 5); // beyond bucket 7's [64,128): overflow
+        h.decay();
+        assert_eq!(h.buckets()[2], 5);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn merge_adds_mass() {
+        let mut a = Log2Histogram::new(8);
+        let mut b = Log2Histogram::new(8);
+        a.record(5);
+        b.record(5);
+        b.record(6);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.buckets()[3], 3);
+    }
+
+    #[test]
+    fn quantile_sane() {
+        let mut h = Log2Histogram::new(16);
+        h.record_n(4, 50);
+        h.record_n(1000, 50);
+        let q25 = h.quantile(0.25).unwrap();
+        let q90 = h.quantile(0.9).unwrap();
+        assert!(q25 < q90);
+        assert!(h.quantile(0.0).is_some());
+        assert!(Log2Histogram::new(4).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Log2Histogram::new(8);
+        h.record_n(3, 7);
+        h.clear();
+        assert_eq!(h.total(), 0);
+        assert!(h.buckets().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count")]
+    fn zero_buckets_rejected() {
+        let _ = Log2Histogram::new(0);
+    }
+}

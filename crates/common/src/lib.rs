@@ -1,0 +1,32 @@
+//! Common foundation types for the NUcache reproduction.
+//!
+//! This crate holds the vocabulary shared by every other crate in the
+//! workspace: strongly-typed addresses and program counters, access
+//! records, geometric histograms (used by the Next-Use monitor), counter
+//! bundles, a deterministic seeded RNG wrapper, and small text-table /
+//! CSV reporting helpers used by the experiment binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use nucache_common::{Access, AccessKind, Addr, CoreId, Pc};
+//!
+//! let a = Access::new(CoreId::new(0), Pc::new(0x400_1000), Addr::new(0x8000), AccessKind::Read);
+//! assert_eq!(a.addr.line(6).0, 0x8000 >> 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod addr;
+pub mod histogram;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use access::{Access, AccessKind};
+pub use addr::{Addr, CoreId, LineAddr, Pc};
+pub use histogram::Log2Histogram;
+pub use rng::DetRng;
+pub use stats::CacheStats;

@@ -1,0 +1,162 @@
+//! Deterministic random-number generation.
+//!
+//! Every stochastic component of the reproduction (workload generators,
+//! random replacement, BIP coin flips, PIPP promotion probability) draws
+//! from a [`DetRng`] seeded explicitly, so a simulation config plus its
+//! seeds fully determines the output bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded RNG with helpers for deriving independent substreams.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_common::DetRng;
+/// let mut a = DetRng::seed(42);
+/// let mut b = DetRng::seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        DetRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent substream from a parent seed and a stream
+    /// label. Distinct labels give statistically independent streams;
+    /// identical (seed, label) pairs give identical streams.
+    pub fn substream(seed: u64, label: u64) -> Self {
+        // SplitMix64-style mixing keeps nearby labels uncorrelated.
+        let mut z = seed ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        DetRng::seed(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.random_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform `f64` in `[0,1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Samples a geometric-ish gap: uniform in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed(7);
+        let mut b = DetRng::seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut a = DetRng::substream(7, 0);
+        let mut b = DetRng::substream(7, 1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "substreams should be independent");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::seed(1);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            assert!(r.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::seed(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::seed(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = DetRng::seed(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match r.range_inclusive(1, 3) {
+                1 => lo_seen = true,
+                3 => hi_seen = true,
+                2 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,0 +1,182 @@
+//! NUcache configuration knobs.
+
+use std::fmt;
+
+/// How the set of chosen PCs is computed each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// The paper's mechanism: greedy cost-benefit maximization of expected
+    /// DeliWays hits using Next-Use histograms.
+    CostBenefit,
+    /// Exhaustive subset search over the top candidates (the selection
+    /// upper bound the greedy pass is compared against; exponential, so
+    /// the candidate pool is capped — see
+    /// [`NuCacheConfig::oracle_pool`]).
+    Exhaustive,
+    /// Always choose the `k` PCs with the most misses, ignoring Next-Use
+    /// information (ablation: shows delinquency alone is not enough).
+    StaticTopK(usize),
+    /// Choose `k` candidate PCs uniformly at random each epoch
+    /// (ablation lower bound).
+    Random(usize),
+    /// Never choose any PC: DeliWays stay empty and NUcache degrades to
+    /// an LRU cache of `MainWays` associativity (worst case sanity
+    /// bound).
+    None,
+}
+
+impl fmt::Display for SelectionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionStrategy::CostBenefit => f.write_str("cost-benefit"),
+            SelectionStrategy::Exhaustive => f.write_str("exhaustive"),
+            SelectionStrategy::StaticTopK(k) => write!(f, "static-top-{k}"),
+            SelectionStrategy::Random(k) => write!(f, "random-{k}"),
+            SelectionStrategy::None => f.write_str("none"),
+        }
+    }
+}
+
+/// Configuration of a [`NuCache`](crate::NuCache) instance.
+///
+/// The defaults correspond to the design point used for the headline
+/// results: half the ways reserved as DeliWays, 32 delinquent-PC
+/// candidates, Next-Use monitoring on 1 set in 32, and a 100k-access
+/// selection epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NuCacheConfig {
+    /// Number of ways per set reserved as DeliWays (the remaining ways
+    /// are MainWays).
+    pub deli_ways: usize,
+    /// LLC accesses between PC re-selections.
+    pub epoch_len: u64,
+    /// How many of the most-missing PCs are candidates for selection.
+    pub max_candidates: usize,
+    /// Candidate-pool cap for [`SelectionStrategy::Exhaustive`].
+    pub oracle_pool: usize,
+    /// Next-Use monitor samples one set in `2^monitor_shift`.
+    pub monitor_shift: u32,
+    /// Entries in each sampled set's eviction buffer.
+    pub monitor_depth: usize,
+    /// Buckets in each per-PC Next-Use histogram.
+    pub histogram_buckets: usize,
+    /// On a DeliWays hit, promote the line back into the MainWays (MRU)
+    /// instead of leaving it to age out of the FIFO.
+    pub promote_on_deli_hit: bool,
+    /// On a DeliWays hit without promotion, refresh the line's FIFO
+    /// position (move it to the tail) so actively reused lines are not
+    /// dropped on schedule. Turns the DeliWays from pure FIFO into
+    /// second-chance FIFO; only meaningful when `promote_on_deli_hit`
+    /// is off. An extension ablated in the benches.
+    pub deli_hit_refresh: bool,
+    /// Selection strategy.
+    pub strategy: SelectionStrategy,
+    /// Seed for the stochastic strategies.
+    pub seed: u64,
+}
+
+impl Default for NuCacheConfig {
+    fn default() -> Self {
+        NuCacheConfig {
+            deli_ways: 8,
+            epoch_len: 100_000,
+            max_candidates: 32,
+            oracle_pool: 12,
+            monitor_shift: 5,
+            monitor_depth: 64,
+            histogram_buckets: 32,
+            promote_on_deli_hit: true,
+            deli_hit_refresh: false,
+            strategy: SelectionStrategy::CostBenefit,
+            seed: 0xcafe,
+        }
+    }
+}
+
+impl NuCacheConfig {
+    /// Returns a copy with a different DeliWays count.
+    #[must_use]
+    pub fn with_deli_ways(mut self, deli_ways: usize) -> Self {
+        self.deli_ways = deli_ways;
+        self
+    }
+
+    /// Returns a copy with a different epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    #[must_use]
+    pub fn with_epoch_len(mut self, epoch_len: u64) -> Self {
+        assert!(epoch_len > 0, "zero epoch length");
+        self.epoch_len = epoch_len;
+        self
+    }
+
+    /// Returns a copy with a different selection strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration against a total associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DeliWays consume every way (at least one MainWay is
+    /// required), or any count is zero where that makes no sense.
+    pub fn validate(&self, associativity: usize) {
+        assert!(self.deli_ways < associativity, "DeliWays must leave at least one MainWay");
+        assert!(self.epoch_len > 0, "zero epoch length");
+        assert!(self.max_candidates > 0, "no candidates");
+        assert!(self.monitor_depth > 0, "zero monitor depth");
+        assert!(self.histogram_buckets > 0 && self.histogram_buckets <= 64, "bad bucket count");
+        assert!(self.oracle_pool >= 1 && self.oracle_pool <= 20, "oracle pool out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_for_16_way() {
+        NuCacheConfig::default().validate(16);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = NuCacheConfig::default()
+            .with_deli_ways(4)
+            .with_epoch_len(5)
+            .with_strategy(SelectionStrategy::Random(3))
+            .with_seed(9);
+        assert_eq!(c.deli_ways, 4);
+        assert_eq!(c.epoch_len, 5);
+        assert_eq!(c.strategy, SelectionStrategy::Random(3));
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MainWay")]
+    fn all_deli_rejected() {
+        NuCacheConfig::default().with_deli_ways(16).validate(16);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(format!("{}", SelectionStrategy::CostBenefit), "cost-benefit");
+        assert_eq!(format!("{}", SelectionStrategy::StaticTopK(5)), "static-top-5");
+        assert_eq!(format!("{}", SelectionStrategy::Random(2)), "random-2");
+        assert_eq!(format!("{}", SelectionStrategy::Exhaustive), "exhaustive");
+        assert_eq!(format!("{}", SelectionStrategy::None), "none");
+    }
+}

@@ -1,0 +1,62 @@
+//! NUcache: an efficient multicore cache organization based on Next-Use
+//! distance (Manikantan, Rajan & Govindarajan, HPCA 2011) — the paper's
+//! primary contribution, implemented from scratch.
+//!
+//! # The mechanism
+//!
+//! NUcache logically partitions the ways of each LLC set into **MainWays**
+//! and **DeliWays**. All lines are inserted into the MainWays under LRU;
+//! when a line allocated by one of the currently *chosen* delinquent PCs
+//! is evicted from the MainWays, it is moved into the DeliWays (managed
+//! FIFO) instead of leaving the cache, buying it an extra lifetime of
+//! roughly `DeliWays / fill-rate` set-accesses. Lookups search both
+//! regions.
+//!
+//! The chosen set of PCs is recomputed every epoch by a cost-benefit
+//! analysis over **Next-Use distances**: a sampled monitor records, per
+//! delinquent PC, a histogram of the number of set-accesses between a
+//! line's MainWays eviction and its next request. Selecting a PC adds its
+//! histogram mass within the extra lifetime (benefit) but raises the
+//! combined DeliWays fill rate, shortening that lifetime for every chosen
+//! PC (cost). A greedy pass — or, for ablation, exhaustive search —
+//! maximizes expected DeliWays hits.
+//!
+//! # Crate layout
+//!
+//! * [`NuCacheConfig`] — all knobs with paper-faithful defaults;
+//! * [`delinquent`] — per-PC miss accounting, top-K extraction;
+//! * [`monitor`] — the sampled Next-Use monitor;
+//! * [`selector`] — cost-benefit, exhaustive (oracle), static-top-k and
+//!   random selection strategies;
+//! * [`NuCache`] — the MainWays/DeliWays LLC organization implementing
+//!   [`nucache_cache::SharedLlc`];
+//! * [`overhead`] — hardware storage-cost model for the overhead table.
+//!
+//! # Examples
+//!
+//! ```
+//! use nucache_cache::{CacheGeometry, SharedLlc};
+//! use nucache_core::{NuCache, NuCacheConfig};
+//! use nucache_common::{AccessKind, CoreId, LineAddr, Pc};
+//!
+//! let geom = CacheGeometry::new(1024 * 1024, 16, 64);
+//! let mut llc = NuCache::new(geom, 2, NuCacheConfig::default());
+//! llc.access(CoreId::new(0), Pc::new(0x400), LineAddr::new(1), AccessKind::Read);
+//! assert_eq!(llc.stats().misses, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod delinquent;
+pub mod llc;
+pub mod monitor;
+pub mod overhead;
+pub mod selector;
+
+pub use config::{NuCacheConfig, SelectionStrategy};
+pub use delinquent::DelinquentTracker;
+pub use llc::NuCache;
+pub use monitor::NextUseMonitor;
+pub use selector::select_pcs;

@@ -1,0 +1,222 @@
+//! Per-core cycle accounting.
+
+use std::fmt;
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// Served by the private L1.
+    L1Hit,
+    /// Served by the private L2.
+    L2Hit,
+    /// Served by the shared LLC.
+    LlcHit,
+    /// Served by main memory (LLC miss).
+    Memory,
+}
+
+/// Access latencies in cycles for each service level.
+///
+/// Defaults follow the usual simulation parameters of the period: 1-cycle
+/// L1, 10-cycle L2, 30-cycle shared LLC, 200-cycle memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// L1 hit latency.
+    pub l1_hit: u32,
+    /// L2 hit latency.
+    pub l2_hit: u32,
+    /// Shared-LLC hit latency.
+    pub llc_hit: u32,
+    /// Main-memory latency.
+    pub memory: u32,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig { l1_hit: 1, l2_hit: 10, llc_hit: 30, memory: 200 }
+    }
+}
+
+impl TimingConfig {
+    /// Latency of an access served at `level`.
+    pub const fn latency(&self, level: ServiceLevel) -> u32 {
+        match level {
+            ServiceLevel::L1Hit => self.l1_hit,
+            ServiceLevel::L2Hit => self.l2_hit,
+            ServiceLevel::LlcHit => self.llc_hit,
+            ServiceLevel::Memory => self.memory,
+        }
+    }
+
+    /// Validates that latencies increase down the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any outer level is not slower than the one above it.
+    pub fn validate(&self) {
+        assert!(
+            self.l1_hit < self.l2_hit && self.l2_hit < self.llc_hit && self.llc_hit < self.memory,
+            "latencies must increase down the hierarchy"
+        );
+    }
+}
+
+impl fmt::Display for TimingConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1={}cy L2={}cy LLC={}cy MEM={}cy",
+            self.l1_hit, self.l2_hit, self.llc_hit, self.memory
+        )
+    }
+}
+
+/// Cycle and instruction counters for one core, with a freezable
+/// measurement snapshot.
+///
+/// In multiprogrammed runs every core executes a fixed instruction quota;
+/// cores that finish early keep running (to keep generating contention)
+/// but their metrics freeze at the quota. [`CoreClock::freeze`] captures
+/// that snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreClock {
+    cycles: u64,
+    instructions: u64,
+    frozen: Option<(u64, u64)>,
+}
+
+impl CoreClock {
+    /// Creates a zeroed clock.
+    pub fn new() -> Self {
+        CoreClock::default()
+    }
+
+    /// Charges one access: `gap` single-cycle instructions followed by
+    /// the memory access with the given latency.
+    pub fn charge(&mut self, gap: u32, latency: u32) {
+        self.cycles += gap as u64 + latency as u64;
+        self.instructions += gap as u64 + 1;
+    }
+
+    /// Cycles elapsed (live counter).
+    pub const fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions executed (live counter).
+    pub const fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Live IPC; 0 for an unstarted clock.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Freezes the measurement snapshot at the current counters (first
+    /// call wins; later calls are ignored).
+    pub fn freeze(&mut self) {
+        if self.frozen.is_none() {
+            self.frozen = Some((self.cycles, self.instructions));
+        }
+    }
+
+    /// Whether the snapshot has been frozen.
+    pub const fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// Cycles at the freeze point (live value if never frozen).
+    pub fn measured_cycles(&self) -> u64 {
+        self.frozen.map_or(self.cycles, |(c, _)| c)
+    }
+
+    /// Instructions at the freeze point (live value if never frozen).
+    pub fn measured_instructions(&self) -> u64 {
+        self.frozen.map_or(self.instructions, |(_, i)| i)
+    }
+
+    /// IPC at the freeze point.
+    pub fn measured_ipc(&self) -> f64 {
+        let c = self.measured_cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.measured_instructions() as f64 / c as f64
+        }
+    }
+
+    /// Resets everything, including the snapshot.
+    pub fn reset(&mut self) {
+        *self = CoreClock::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_ordered() {
+        TimingConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "increase down the hierarchy")]
+    fn inverted_latencies_rejected() {
+        TimingConfig { l1_hit: 10, l2_hit: 5, llc_hit: 30, memory: 200 }.validate();
+    }
+
+    #[test]
+    fn latency_lookup() {
+        let t = TimingConfig::default();
+        assert_eq!(t.latency(ServiceLevel::L1Hit), 1);
+        assert_eq!(t.latency(ServiceLevel::Memory), 200);
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let mut c = CoreClock::new();
+        c.charge(3, 1); // 3 gap instrs + L1 access
+        c.charge(0, 200); // back-to-back miss
+        assert_eq!(c.instructions(), 5);
+        assert_eq!(c.cycles(), 3 + 1 + 200);
+        assert!(c.ipc() > 0.0);
+    }
+
+    #[test]
+    fn freeze_snapshots_once() {
+        let mut c = CoreClock::new();
+        c.charge(9, 1);
+        c.freeze();
+        c.charge(9, 200);
+        assert_eq!(c.measured_instructions(), 10);
+        assert_eq!(c.instructions(), 20);
+        c.freeze(); // no-op
+        assert_eq!(c.measured_instructions(), 10);
+        assert!(c.is_frozen());
+    }
+
+    #[test]
+    fn unfrozen_measures_live() {
+        let mut c = CoreClock::new();
+        c.charge(1, 1);
+        assert_eq!(c.measured_cycles(), c.cycles());
+        assert!((c.measured_ipc() - c.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut c = CoreClock::new();
+        c.charge(1, 1);
+        c.freeze();
+        c.reset();
+        assert_eq!(c.cycles(), 0);
+        assert!(!c.is_frozen());
+        assert_eq!(c.ipc(), 0.0);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10 (selection-epoch sensitivity).
+fn main() {
+    nucache_experiments::figs::fig10();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 (PC-selection strategy ablation).
+fn main() {
+    nucache_experiments::figs::fig11();
+}

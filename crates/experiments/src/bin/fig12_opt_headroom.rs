@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12 (Belady-OPT headroom analysis).
+fn main() {
+    nucache_experiments::figs::fig12();
+}

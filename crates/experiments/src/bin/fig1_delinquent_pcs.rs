@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (delinquent-PC miss concentration).
+fn main() {
+    nucache_experiments::figs::fig1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2 (Next-Use distance distributions).
+fn main() {
+    nucache_experiments::figs::fig2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3 (single-core NUcache vs LRU).
+fn main() {
+    nucache_experiments::figs::fig3();
+}

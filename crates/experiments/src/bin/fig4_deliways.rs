@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4 (DeliWays sensitivity).
+fn main() {
+    nucache_experiments::figs::fig4();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5 (2-core headline comparison).
+fn main() {
+    let g = nucache_experiments::figs::fig5();
+    println!("\ngeomean normalized WS over LRU: {g:?}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6 (4-core headline comparison).
+fn main() {
+    let g = nucache_experiments::figs::fig6();
+    println!("\ngeomean normalized WS over LRU: {g:?}");
+}

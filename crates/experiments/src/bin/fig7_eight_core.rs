@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7 (8-core headline comparison).
+fn main() {
+    let g = nucache_experiments::figs::fig7();
+    println!("\ngeomean normalized WS over LRU: {g:?}");
+}

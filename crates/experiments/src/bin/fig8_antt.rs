@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (ANTT across core counts).
+fn main() {
+    nucache_experiments::figs::fig8();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9 (LLC-capacity sensitivity).
+fn main() {
+    nucache_experiments::figs::fig9();
+}

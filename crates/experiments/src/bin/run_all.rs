@@ -1,0 +1,35 @@
+//! Runs every table and figure of the evaluation in sequence.
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let step = |name: &str, f: &dyn Fn()| {
+        let t = Instant::now();
+        f();
+        eprintln!("[run_all] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+    };
+    use nucache_experiments::{figs, tables};
+    step("table1", &tables::table1);
+    step("table3", &tables::table3);
+    step("table4", &tables::table4);
+    step("table2", &tables::table2);
+    step("fig1", &figs::fig1);
+    step("fig2", &figs::fig2);
+    step("fig3", &figs::fig3);
+    step("fig4", &figs::fig4);
+    step("fig5", &|| {
+        figs::fig5();
+    });
+    step("fig6", &|| {
+        figs::fig6();
+    });
+    step("fig7", &|| {
+        figs::fig7();
+    });
+    step("fig8", &figs::fig8);
+    step("fig9", &figs::fig9);
+    step("fig10", &figs::fig10);
+    step("fig11", &figs::fig11);
+    step("fig12", &figs::fig12);
+    eprintln!("[run_all] total {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,127 @@
+//! `simulate` — the general-purpose CLI front-end to the simulator.
+//!
+//! ```text
+//! cargo run --release -p nucache-experiments --bin simulate -- \
+//!     --cores 4 --scheme nucache --deli-ways 8 \
+//!     --workloads sphinx_like,libquantum_like,mcf_like,lbm_like \
+//!     --warmup 300000 --measure 1000000 --llc-mb 4 --seed 7
+//! ```
+//!
+//! `--scheme` accepts `lru`, `dip`, `drrip`, `tadip`, `ucp`, `pipp`,
+//! `nucache`. `--workloads` is a comma-separated list with one entry per
+//! core (defaults cycle the roster). `--normalize` also runs the solo
+//! baselines and reports weighted speedup / ANTT.
+
+use nucache_cache::CacheGeometry;
+use nucache_common::table::{f2, f3, Table};
+use nucache_core::NuCacheConfig;
+use nucache_sim::args::Args;
+use nucache_sim::{run_mix, Evaluator, Scheme, SimConfig};
+use nucache_trace::{Mix, SpecWorkload};
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        println!(
+            "options: --cores N --scheme NAME --workloads a,b,... --llc-mb N \
+             --warmup N --measure N --seed N --deli-ways N --epoch N --normalize --help"
+        );
+        return Ok(());
+    }
+    let cores: usize = args.get_num("cores", 2).map_err(|e| e.to_string())?;
+    if cores == 0 || cores > 64 {
+        return Err("--cores must be in 1..=64".into());
+    }
+    let scheme_name = args.get_or("scheme", "nucache").to_string();
+    let warmup: u64 = args.get_num("warmup", 300_000).map_err(|e| e.to_string())?;
+    let measure: u64 = args.get_num("measure", 1_000_000).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_num("seed", 0x5eed_2011).map_err(|e| e.to_string())?;
+    let llc_mb: u64 = args.get_num("llc-mb", cores as u64).map_err(|e| e.to_string())?;
+    let deli: usize = args.get_num("deli-ways", 8).map_err(|e| e.to_string())?;
+    let epoch: u64 = args.get_num("epoch", 100_000).map_err(|e| e.to_string())?;
+    let workloads_arg = args.get_or("workloads", "").to_string();
+    let normalize = args.flag("normalize");
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    let workloads: Vec<SpecWorkload> = if workloads_arg.is_empty() {
+        SpecWorkload::ALL.iter().copied().cycle().take(cores).collect()
+    } else {
+        let parsed: Result<Vec<_>, String> = workloads_arg
+            .split(',')
+            .map(|n| {
+                SpecWorkload::from_name(n.trim())
+                    .ok_or_else(|| format!("unknown workload '{n}' (see table2_workloads)"))
+            })
+            .collect();
+        parsed?
+    };
+    if workloads.len() != cores {
+        return Err(format!("--workloads lists {} entries for {cores} cores", workloads.len()));
+    }
+
+    let scheme = match scheme_name.as_str() {
+        "lru" => Scheme::Lru,
+        "dip" => Scheme::Dip,
+        "drrip" => Scheme::Drrip,
+        "tadip" => Scheme::Tadip,
+        "ucp" => Scheme::Ucp,
+        "pipp" => Scheme::Pipp,
+        "nucache" => Scheme::NuCache(
+            NuCacheConfig::default().with_deli_ways(deli).with_epoch_len(epoch),
+        ),
+        other => return Err(format!("unknown scheme '{other}'")),
+    };
+
+    let config = SimConfig::baseline(cores)
+        .with_llc(CacheGeometry::new(llc_mb * 1024 * 1024, 16, 64))
+        .with_run_lengths(warmup, measure)
+        .with_seed(seed);
+    let mix = Mix::new("cli", workloads);
+
+    println!("scheme={scheme} cores={cores} llc={llc_mb}MB warmup={warmup} measure={measure}\n");
+    let mut t = Table::new(["core", "workload", "ipc", "llc_mpki", "llc_hit_rate"]);
+    if normalize {
+        let mut eval = Evaluator::new(config);
+        let (result, metrics) = eval.evaluate(&mix, &scheme);
+        for (i, c) in result.per_core.iter().enumerate() {
+            t.row([
+                i.to_string(),
+                c.workload.clone(),
+                f3(c.ipc),
+                f2(c.llc_mpki),
+                f2(c.llc.hit_rate()),
+            ]);
+        }
+        print!("{}", t.to_text());
+        println!("\nweighted speedup: {:.3}", metrics.weighted_speedup);
+        println!("ANTT:             {:.3}", metrics.antt);
+        println!("throughput:       {:.3}", metrics.throughput);
+        println!("fairness:         {:.3}", metrics.fairness);
+    } else {
+        let result = run_mix(&config, &mix, &scheme);
+        for (i, c) in result.per_core.iter().enumerate() {
+            t.row([
+                i.to_string(),
+                c.workload.clone(),
+                f3(c.ipc),
+                f2(c.llc_mpki),
+                f2(c.llc.hit_rate()),
+            ]);
+        }
+        print!("{}", t.to_text());
+        println!("\nLLC totals: {}", result.llc_totals);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try --help");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (system configuration).
+fn main() {
+    nucache_experiments::tables::table1();
+}

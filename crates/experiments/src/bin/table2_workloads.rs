@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (workload inventory).
+fn main() {
+    nucache_experiments::tables::table2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (multiprogrammed mixes).
+fn main() {
+    nucache_experiments::tables::table3();
+}

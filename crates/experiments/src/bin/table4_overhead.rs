@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (storage overhead).
+fn main() {
+    nucache_experiments::tables::table4();
+}

@@ -1,0 +1,4 @@
+//! `run_all` lives in bin/; this main delegates there for `cargo run -p nucache-experiments`.
+fn main() {
+    eprintln!("use the per-figure binaries, e.g. `cargo run --release -p nucache-experiments --bin fig5_dual_core`");
+}

@@ -1,0 +1,56 @@
+//! Convenience constructors for the policy-only shared-LLC baselines.
+//!
+//! These are thin wrappers over the cache crate's [`ClassicLlc`] with the
+//! appropriate policy plugged in; they exist so the simulation driver and
+//! the experiment binaries can name every scheme uniformly.
+
+use nucache_cache::policy::{Dip, Drrip, Lru, TadipF};
+use nucache_cache::{CacheGeometry, ClassicLlc};
+
+/// The shared-LRU baseline the paper normalizes against.
+pub fn lru(geom: CacheGeometry, num_cores: usize) -> ClassicLlc<Lru> {
+    ClassicLlc::new(geom, Lru::new(&geom), num_cores)
+}
+
+/// DIP (thread-oblivious dynamic insertion).
+pub fn dip(geom: CacheGeometry, num_cores: usize, seed: u64) -> ClassicLlc<Dip> {
+    ClassicLlc::new(geom, Dip::new(&geom, seed), num_cores)
+}
+
+/// DRRIP (dynamic re-reference interval prediction).
+pub fn drrip(geom: CacheGeometry, num_cores: usize, seed: u64) -> ClassicLlc<Drrip> {
+    ClassicLlc::new(geom, Drrip::new(&geom, seed), num_cores)
+}
+
+/// TADIP-F (thread-aware dynamic insertion with feedback).
+pub fn tadip(geom: CacheGeometry, num_cores: usize, seed: u64) -> ClassicLlc<TadipF> {
+    ClassicLlc::new(geom, TadipF::new(&geom, num_cores, seed), num_cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucache_cache::SharedLlc;
+    use nucache_common::{AccessKind, CoreId, LineAddr, Pc};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(64 * 8 * 64, 8, 64)
+    }
+
+    #[test]
+    fn constructors_name_their_schemes() {
+        assert_eq!(lru(geom(), 2).scheme_name(), "lru");
+        assert_eq!(dip(geom(), 2, 1).scheme_name(), "dip");
+        assert_eq!(drrip(geom(), 2, 1).scheme_name(), "drrip");
+        assert_eq!(tadip(geom(), 2, 1).scheme_name(), "tadip-f");
+    }
+
+    #[test]
+    fn baselines_are_functional() {
+        let mut l = lru(geom(), 2);
+        l.access(CoreId::new(0), Pc::new(1), LineAddr::new(9), AccessKind::Read);
+        assert!(l
+            .access(CoreId::new(0), Pc::new(1), LineAddr::new(9), AccessKind::Read)
+            .is_hit());
+    }
+}

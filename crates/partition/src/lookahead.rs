@@ -1,0 +1,180 @@
+//! The lookahead partitioning algorithm.
+//!
+//! Given per-core utility curves (expected hits as a function of allocated
+//! ways), the algorithm repeatedly grants ways to whichever core currently
+//! offers the highest *marginal utility per way*, looking ahead across
+//! multi-way grants so that cores with S-shaped curves (no benefit until
+//! several ways) still compete fairly. This greedy-with-lookahead scheme
+//! is the standard way to sidestep the NP-hardness of optimal
+//! partitioning while capturing its benefit in practice.
+
+/// Computes a way partition from per-core utility curves.
+///
+/// `curves[c][w]` is the (scaled) number of hits core `c` is predicted to
+/// receive with `w` ways; each curve must have `total_ways + 1` entries
+/// and be non-decreasing. Every core is guaranteed at least `min_ways`
+/// ways; the remainder is distributed by maximum marginal utility. Ways
+/// left over when all curves flatten are distributed round-robin so the
+/// full associativity is always assigned.
+///
+/// Returns one allocation per core, summing to `total_ways`.
+///
+/// # Panics
+///
+/// Panics if `curves` is empty, any curve is shorter than
+/// `total_ways + 1`, or `min_ways * cores > total_ways`.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_partition::lookahead_partition;
+/// // Core 0 saturates after 2 ways; core 1 keeps benefiting.
+/// let c0 = vec![0, 80, 100, 100, 100];
+/// let c1 = vec![0, 40, 80, 120, 160];
+/// let alloc = lookahead_partition(&[c0, c1], 4, 1);
+/// assert_eq!(alloc.iter().sum::<usize>(), 4);
+/// assert!(alloc[1] >= 2);
+/// ```
+pub fn lookahead_partition(curves: &[Vec<u64>], total_ways: usize, min_ways: usize) -> Vec<usize> {
+    assert!(!curves.is_empty(), "no cores");
+    let cores = curves.len();
+    assert!(min_ways * cores <= total_ways, "min_ways over-commits the cache");
+    for (c, curve) in curves.iter().enumerate() {
+        assert!(
+            curve.len() >= total_ways + 1,
+            "curve for core {c} too short: {} < {}",
+            curve.len(),
+            total_ways + 1
+        );
+    }
+
+    let mut alloc = vec![min_ways; cores];
+    let mut balance = total_ways - min_ways * cores;
+
+    while balance > 0 {
+        // For each core, the best (utility-per-way, ways) step within the
+        // remaining balance.
+        let mut best: Option<(f64, usize, usize)> = None; // (mu, core, step)
+        for c in 0..cores {
+            let have = alloc[c];
+            let base = curves[c][have.min(total_ways)];
+            for step in 1..=balance {
+                let gain = curves[c][(have + step).min(total_ways)].saturating_sub(base);
+                if gain == 0 {
+                    continue;
+                }
+                let mu = gain as f64 / step as f64;
+                // Ties go to the core holding fewer ways so equally hungry
+                // cores split the cache instead of the first one taking all.
+                let better = match best {
+                    None => true,
+                    Some((bmu, bc, _)) => {
+                        mu > bmu * (1.0 + 1e-9) || ((mu - bmu).abs() <= bmu * 1e-9 && alloc[c] < alloc[bc])
+                    }
+                };
+                if better {
+                    best = Some((mu, c, step));
+                }
+            }
+        }
+        match best {
+            Some((_, c, step)) => {
+                alloc[c] += step;
+                balance -= step;
+            }
+            None => break, // every curve is flat: fall through to round-robin
+        }
+    }
+
+    // Distribute any leftover ways round-robin (flat curves still own
+    // physical ways).
+    let mut c = 0;
+    while balance > 0 {
+        alloc[c % cores] += 1;
+        balance -= 1;
+        c += 1;
+    }
+
+    debug_assert_eq!(alloc.iter().sum::<usize>(), total_ways);
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_sum_to_total() {
+        let curves = vec![vec![0, 1, 2, 3, 4, 5, 6, 7, 8], vec![0, 8, 9, 9, 9, 9, 9, 9, 9]];
+        let alloc = lookahead_partition(&curves, 8, 1);
+        assert_eq!(alloc.iter().sum::<usize>(), 8);
+        assert!(alloc.iter().all(|&a| a >= 1));
+    }
+
+    #[test]
+    fn high_utility_core_wins_ways() {
+        // Core 0: each way worth 100 hits. Core 1: each worth 1.
+        let c0: Vec<u64> = (0..=8).map(|w| w * 100).collect();
+        let c1: Vec<u64> = (0..=8).collect();
+        let alloc = lookahead_partition(&[c0, c1], 8, 1);
+        assert_eq!(alloc, vec![7, 1]);
+    }
+
+    #[test]
+    fn lookahead_sees_past_flat_prefix() {
+        // Core 0 gains nothing until 4 ways, then a huge jump: a purely
+        // greedy single-step algorithm would starve it.
+        let c0 = vec![0, 0, 0, 0, 1000, 1000, 1000, 1000, 1000];
+        let c1: Vec<u64> = (0..=8).map(|w| w * 10).collect();
+        let alloc = lookahead_partition(&[c0, c1], 8, 1);
+        assert!(alloc[0] >= 4, "lookahead must grant the 4-way step, got {alloc:?}");
+    }
+
+    #[test]
+    fn flat_curves_fall_back_to_round_robin() {
+        let flat = vec![0u64; 9];
+        let alloc = lookahead_partition(&[flat.clone(), flat], 8, 1);
+        assert_eq!(alloc.iter().sum::<usize>(), 8);
+        assert_eq!(alloc, vec![4, 4]);
+    }
+
+    #[test]
+    fn min_ways_respected() {
+        let c0: Vec<u64> = (0..=16).map(|w| w * 100).collect();
+        let c1 = vec![0u64; 17];
+        let alloc = lookahead_partition(&[c0, c1], 16, 2);
+        assert!(alloc[1] >= 2);
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn single_core_takes_everything() {
+        let c: Vec<u64> = (0..=4).collect();
+        assert_eq!(lookahead_partition(&[c], 4, 1), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-commits")]
+    fn overcommitted_min_rejected() {
+        let c = vec![0u64; 5];
+        let _ = lookahead_partition(&[c.clone(), c, vec![0u64; 5]], 4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_curve_rejected() {
+        let _ = lookahead_partition(&[vec![0, 1]], 4, 0);
+    }
+
+    #[test]
+    fn four_core_scenario() {
+        // Two hungry cores, one modest, one streaming (flat).
+        let hungry: Vec<u64> = (0..=16).map(|w| w * 50).collect();
+        let modest: Vec<u64> = (0..=16).map(|w| (w * 10).min(40)).collect();
+        let flat = vec![0u64; 17];
+        let alloc = lookahead_partition(&[hungry.clone(), hungry, modest, flat], 16, 1);
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+        assert!(alloc[0] >= 5 && alloc[1] >= 5);
+        assert_eq!(alloc[3], 1, "streamer gets only the floor");
+    }
+}

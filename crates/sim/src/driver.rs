@@ -1,0 +1,321 @@
+//! The multicore simulation driver.
+//!
+//! Each core owns a trace generator, a private L1/L2 stack and a cycle
+//! clock. Cores are interleaved in global-cycle order (the core with the
+//! smallest elapsed cycle count issues next), so LLC contention follows
+//! each application's actual memory intensity: a stalled core naturally
+//! issues fewer LLC accesses per unit time.
+//!
+//! Runs proceed in two stages: a warm-up of `warmup_accesses` per core
+//! (after which all statistics and clocks are reset while cache contents
+//! and learned policy state are kept), then measurement until every core
+//! has issued `measure_accesses`. A core reaching its quota freezes its
+//! metrics but keeps running so the remaining cores still see contention.
+
+use crate::config::SimConfig;
+use crate::scheme::Scheme;
+use nucache_cache::hierarchy::{PrivateHierarchy, PrivateOutcome};
+use nucache_cache::SharedLlc;
+use nucache_common::{AccessKind, CacheStats, CoreId};
+use nucache_cpu::{CoreClock, ServiceLevel};
+use nucache_trace::{Mix, SpecWorkload, TraceGen};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-core results of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreResult {
+    /// Workload the core ran.
+    pub workload: String,
+    /// Measured IPC (frozen at the access quota).
+    pub ipc: f64,
+    /// Instructions at the freeze point.
+    pub instructions: u64,
+    /// Cycles at the freeze point.
+    pub cycles: u64,
+    /// LLC counters attributed to this core (measurement window).
+    pub llc: CacheStats,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+}
+
+/// Results of simulating one mix under one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Scheme name (as reported by the LLC itself).
+    pub scheme: String,
+    /// Mix name.
+    pub mix: String,
+    /// Per-core results.
+    pub per_core: Vec<CoreResult>,
+    /// Aggregate LLC counters (measurement window).
+    pub llc_totals: CacheStats,
+}
+
+impl SimResult {
+    /// Measured IPC vector, indexed by core.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.per_core.iter().map(|c| c.ipc).collect()
+    }
+}
+
+struct CoreState {
+    gen: TraceGen,
+    hierarchy: PrivateHierarchy,
+    clock: CoreClock,
+    accesses: u64,
+    workload: String,
+    /// Per-core LLC counters snapshotted when the core hits its quota, so
+    /// post-quota contention running doesn't inflate its statistics.
+    llc_snapshot: Option<CacheStats>,
+}
+
+/// Simulates `mix` on `config` under `scheme`.
+///
+/// Deterministic for a given `(config, mix, scheme)` triple.
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from the config's.
+pub fn run_mix(config: &SimConfig, mix: &Mix, scheme: &Scheme) -> SimResult {
+    let mut llc = scheme.build(config.llc, config.num_cores, config.seed);
+    run_mix_on(config, mix, llc.as_mut())
+}
+
+/// Simulates `mix` on a caller-provided LLC instance, so callers can
+/// inspect scheme-specific internals (monitors, chosen PCs, …) after the
+/// run.
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from the config's.
+pub fn run_mix_on(config: &SimConfig, mix: &Mix, llc: &mut dyn SharedLlc) -> SimResult {
+    assert_eq!(mix.num_cores(), config.num_cores, "mix/config core-count mismatch");
+    config.validate();
+    let mut cores: Vec<CoreState> = mix
+        .workloads()
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let core = CoreId::new(i as u8);
+            CoreState {
+                gen: TraceGen::new(&w.spec(), core, config.seed),
+                hierarchy: PrivateHierarchy::new(core, config.l1, config.l2),
+                clock: CoreClock::new(),
+                accesses: 0,
+                workload: w.name().to_string(),
+                llc_snapshot: None,
+            }
+        })
+        .collect();
+
+    // Warm-up stage.
+    run_until(config, &mut cores, llc, config.warmup_accesses, false);
+    llc.reset_stats();
+    for c in &mut cores {
+        c.hierarchy.reset_stats();
+        c.clock.reset();
+        c.accesses = 0;
+    }
+
+    // Measurement stage.
+    run_until(config, &mut cores, llc, config.measure_accesses, true);
+
+    let per_core: Vec<CoreResult> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let llc_stats = c.llc_snapshot.unwrap_or(llc.core_stats()[i]);
+            let instructions = c.clock.measured_instructions();
+            CoreResult {
+                workload: c.workload.clone(),
+                ipc: c.clock.measured_ipc(),
+                instructions,
+                cycles: c.clock.measured_cycles(),
+                llc: llc_stats,
+                llc_mpki: llc_stats.mpki(instructions),
+            }
+        })
+        .collect();
+    SimResult {
+        scheme: llc.scheme_name(),
+        mix: mix.name().to_string(),
+        per_core,
+        llc_totals: *llc.stats(),
+    }
+}
+
+/// Advances all cores until each has issued `target` accesses in this
+/// stage. With `freeze`, each core's clock freezes as it crosses the
+/// target (measurement); without, the stage just runs (warm-up).
+fn run_until(
+    config: &SimConfig,
+    cores: &mut [CoreState],
+    llc: &mut dyn SharedLlc,
+    target: u64,
+    freeze: bool,
+) {
+    if target == 0 {
+        return;
+    }
+    // Min-heap on (cycles, core index): the least-advanced core issues
+    // next. Stale heap entries are skipped by re-checking the core state.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut remaining = cores.len();
+    for (i, c) in cores.iter().enumerate() {
+        heap.push(Reverse((c.clock.cycles(), i)));
+        if c.accesses >= target {
+            remaining -= 1;
+        }
+    }
+    while remaining > 0 {
+        let Reverse((cycles, i)) = heap.pop().expect("cores outstanding");
+        let core = &mut cores[i];
+        if core.clock.cycles() != cycles {
+            continue; // stale entry
+        }
+        let access = core.gen.next().expect("trace generators are infinite");
+        let level = match core.hierarchy.access(access.pc, access.addr.line(6), access.kind) {
+            PrivateOutcome::L1Hit => ServiceLevel::L1Hit,
+            PrivateOutcome::L2Hit => ServiceLevel::L2Hit,
+            PrivateOutcome::LlcAccess { writeback } => {
+                if let Some(wb) = writeback {
+                    // Write-backs update the LLC copy but are not demand
+                    // accesses; charge no latency (write buffers hide it).
+                    llc.access(access.core, access.pc, wb, AccessKind::Write);
+                }
+                let out = llc.access(access.core, access.pc, access.addr.line(6), access.kind);
+                if out.is_hit() {
+                    ServiceLevel::LlcHit
+                } else {
+                    ServiceLevel::Memory
+                }
+            }
+        };
+        // Overlapped misses (MLP) see a fraction of the raw latency;
+        // private hits are latency-bound regardless.
+        let raw = config.timing.latency(level);
+        let effective = match level {
+            ServiceLevel::L1Hit | ServiceLevel::L2Hit => raw,
+            ServiceLevel::LlcHit | ServiceLevel::Memory => (raw / access.mlp as u32).max(1),
+        };
+        core.clock.charge(access.gap, effective);
+        core.accesses += 1;
+        if core.accesses == target {
+            if freeze {
+                core.clock.freeze();
+                core.llc_snapshot = Some(llc.core_stats()[i]);
+            }
+            remaining -= 1;
+            // Finished cores keep running only while others need
+            // contention; they are simply not re-queued once everyone is
+            // done (the loop exits).
+        }
+        heap.push(Reverse((core.clock.cycles(), i)));
+    }
+}
+
+/// Simulates `mix` under NUcache and returns the LLC instance alongside
+/// the result, for introspection of chosen PCs, monitors and DeliWays
+/// counters.
+pub fn run_mix_nucache(
+    config: &SimConfig,
+    mix: &Mix,
+    nucache_config: nucache_core::NuCacheConfig,
+) -> (SimResult, nucache_core::NuCache) {
+    let mut c = nucache_config;
+    if c.deli_ways >= config.llc.associativity() {
+        c.deli_ways = config.llc.associativity() / 2;
+    }
+    let mut llc = nucache_core::NuCache::new(config.llc, config.num_cores, c);
+    let result = run_mix_on(config, mix, &mut llc);
+    (result, llc)
+}
+
+/// Runs `workload` alone on a single-core variant of `config` (same LLC
+/// geometry) under the shared-LRU baseline; returns its solo result.
+///
+/// Solo IPC under the unmanaged baseline is the normalization reference
+/// for every scheme, matching the paper's weighted-speedup definition.
+pub fn run_solo(config: &SimConfig, workload: SpecWorkload) -> CoreResult {
+    let solo_config = SimConfig { num_cores: 1, ..*config };
+    let mix = Mix::new(format!("solo_{}", workload.name()), vec![workload]);
+    let mut result = run_mix(&solo_config, &mix, &Scheme::Lru);
+    result.per_core.remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_mix() -> Mix {
+        Mix::new("t", vec![SpecWorkload::HmmerLike, SpecWorkload::Bzip2Like])
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let config = SimConfig::demo();
+        let a = run_mix(&config, &demo_mix(), &Scheme::Lru);
+        let b = run_mix(&config, &demo_mix(), &Scheme::Lru);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_cores_reach_quota() {
+        let config = SimConfig::demo();
+        let r = run_mix(&config, &demo_mix(), &Scheme::Lru);
+        for c in &r.per_core {
+            assert!(c.instructions > config.measure_accesses, "gaps imply instructions > accesses");
+            assert!(c.ipc > 0.0 && c.ipc <= 1.0);
+        }
+    }
+
+    #[test]
+    fn llc_attribution_sums_to_totals() {
+        let config = SimConfig::demo();
+        let r = run_mix(&config, &demo_mix(), &Scheme::Lru);
+        let sum: u64 = r.per_core.iter().map(|c| c.llc.accesses()).sum();
+        // Totals include accesses from cores still running after their
+        // freeze, plus write-backs; per-core counters are a subset.
+        assert!(sum <= r.llc_totals.accesses() + 1);
+        assert!(r.llc_totals.accesses() > 0);
+    }
+
+    #[test]
+    fn seed_changes_results() {
+        let config = SimConfig::demo();
+        let a = run_mix(&config, &demo_mix(), &Scheme::Lru);
+        let b = run_mix(&config.with_seed(99), &demo_mix(), &Scheme::Lru);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn solo_run_is_single_core() {
+        let config = SimConfig::demo();
+        let solo = run_solo(&config, SpecWorkload::HmmerLike);
+        assert_eq!(solo.workload, "hmmer_like");
+        assert!(solo.ipc > 0.0);
+    }
+
+    #[test]
+    fn memory_bound_core_has_lower_ipc() {
+        let config = SimConfig::demo();
+        let solo_friendly = run_solo(&config, SpecWorkload::HmmerLike);
+        let solo_stream = run_solo(&config, SpecWorkload::LibquantumLike);
+        assert!(
+            solo_friendly.ipc > solo_stream.ipc,
+            "cache-friendly {} vs streamer {}",
+            solo_friendly.ipc,
+            solo_stream.ipc
+        );
+        assert!(solo_stream.llc_mpki > solo_friendly.llc_mpki);
+    }
+
+    #[test]
+    #[should_panic(expected = "core-count mismatch")]
+    fn mix_size_must_match_config() {
+        let config = SimConfig::demo(); // 2 cores
+        let mix = Mix::new("one", vec![SpecWorkload::HmmerLike]);
+        let _ = run_mix(&config, &mix, &Scheme::Lru);
+    }
+}

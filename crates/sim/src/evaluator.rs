@@ -1,0 +1,112 @@
+//! The evaluator: solo-run caching and normalized metrics.
+
+use crate::config::SimConfig;
+use crate::driver::{run_mix, run_solo, CoreResult, SimResult};
+use crate::scheme::Scheme;
+use nucache_cpu::MultiProgramMetrics;
+use nucache_trace::{Mix, SpecWorkload};
+use std::collections::HashMap;
+
+/// Computes weighted speedups and friends, caching the solo runs that
+/// normalization needs (a solo run depends only on the workload and the
+/// system configuration, not on the scheme under test).
+///
+/// # Examples
+///
+/// ```
+/// use nucache_sim::{Evaluator, Scheme, SimConfig};
+/// use nucache_trace::{Mix, SpecWorkload};
+///
+/// let mut eval = Evaluator::new(SimConfig::demo());
+/// let mix = Mix::new("m", vec![SpecWorkload::HmmerLike, SpecWorkload::GobmkLike]);
+/// let (result, metrics) = eval.evaluate(&mix, &Scheme::Lru);
+/// assert_eq!(result.per_core.len(), 2);
+/// assert!(metrics.weighted_speedup > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator {
+    config: SimConfig,
+    solo_cache: HashMap<SpecWorkload, CoreResult>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a fixed system configuration.
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Evaluator { config, solo_cache: HashMap::new() }
+    }
+
+    /// The system configuration in use.
+    pub const fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Solo result for `workload`, computed on first use and cached.
+    pub fn solo(&mut self, workload: SpecWorkload) -> &CoreResult {
+        if !self.solo_cache.contains_key(&workload) {
+            let result = run_solo(&self.config, workload);
+            self.solo_cache.insert(workload, result);
+        }
+        &self.solo_cache[&workload]
+    }
+
+    /// Solo IPC vector for a mix.
+    pub fn solo_ipcs(&mut self, mix: &Mix) -> Vec<f64> {
+        mix.workloads().iter().map(|&w| self.solo(w).ipc).collect()
+    }
+
+    /// Simulates `mix` under `scheme` and returns both the raw result and
+    /// the normalized multiprogrammed metrics.
+    pub fn evaluate(&mut self, mix: &Mix, scheme: &Scheme) -> (SimResult, MultiProgramMetrics) {
+        let solo = self.solo_ipcs(mix);
+        let result = run_mix(&self.config, mix, scheme);
+        let metrics = MultiProgramMetrics::new(&result.ipcs(), &solo);
+        (result, metrics)
+    }
+
+    /// Number of solo runs currently cached.
+    pub fn cached_solo_runs(&self) -> usize {
+        self.solo_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_runs_are_cached() {
+        let mut e = Evaluator::new(SimConfig::demo());
+        let ipc1 = e.solo(SpecWorkload::HmmerLike).ipc;
+        assert_eq!(e.cached_solo_runs(), 1);
+        let ipc2 = e.solo(SpecWorkload::HmmerLike).ipc;
+        assert_eq!(e.cached_solo_runs(), 1);
+        assert_eq!(ipc1, ipc2);
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_metrics() {
+        let mut e = Evaluator::new(SimConfig::demo());
+        let mix = Mix::new("m", vec![SpecWorkload::HmmerLike, SpecWorkload::GobmkLike]);
+        let (result, metrics) = e.evaluate(&mix, &Scheme::Lru);
+        assert_eq!(metrics.num_cores(), 2);
+        // Friendly co-runners on a demo cache: each core should retain a
+        // decent fraction of its solo performance.
+        assert!(metrics.weighted_speedup > 1.0, "ws = {}", metrics.weighted_speedup);
+        assert!(metrics.weighted_speedup <= 2.0 + 1e-9);
+        assert_eq!(result.per_core.len(), 2);
+    }
+
+    #[test]
+    fn speedups_do_not_exceed_solo_by_much() {
+        // Sharing can only help via extra capacity; with disjoint address
+        // spaces a core cannot beat its solo IPC by more than noise.
+        let mut e = Evaluator::new(SimConfig::demo());
+        let mix = Mix::new("m", vec![SpecWorkload::Bzip2Like, SpecWorkload::SjengLike]);
+        let (_, metrics) = e.evaluate(&mix, &Scheme::Lru);
+        for s in &metrics.per_core_speedup {
+            assert!(*s <= 1.05, "per-core speedup {s} > 1.05 is implausible");
+            assert!(*s > 0.0);
+        }
+    }
+}

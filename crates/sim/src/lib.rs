@@ -1,0 +1,42 @@
+//! End-to-end multicore cache-hierarchy simulation for the NUcache
+//! reproduction.
+//!
+//! Ties everything together: per-core synthetic traces (`nucache-trace`)
+//! run through private L1/L2 stacks (`nucache-cache`) into a pluggable
+//! shared LLC (baselines from `nucache-cache`/`nucache-partition`,
+//! NUcache from `nucache-core`), with cycle accounting and
+//! multiprogrammed metrics from `nucache-cpu`.
+//!
+//! The central types:
+//!
+//! * [`SimConfig`] — the full system description (Table 1);
+//! * [`Scheme`] — which shared-LLC organization to instantiate;
+//! * [`run_mix`] — simulate one multiprogrammed mix under one scheme;
+//! * [`Evaluator`] — caches solo runs and computes normalized metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use nucache_sim::{Scheme, SimConfig};
+//! use nucache_trace::{Mix, SpecWorkload};
+//!
+//! let config = SimConfig::demo(); // small sizes for doctests
+//! let mix = Mix::new("demo", vec![SpecWorkload::HmmerLike, SpecWorkload::GobmkLike]);
+//! let result = nucache_sim::run_mix(&config, &mix, &Scheme::Lru);
+//! assert_eq!(result.per_core.len(), 2);
+//! assert!(result.per_core[0].ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod config;
+pub mod driver;
+pub mod evaluator;
+pub mod scheme;
+
+pub use config::SimConfig;
+pub use driver::{run_mix, run_mix_nucache, run_mix_on, run_solo, CoreResult, SimResult};
+pub use evaluator::Evaluator;
+pub use scheme::Scheme;

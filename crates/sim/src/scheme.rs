@@ -1,0 +1,139 @@
+//! Scheme selection: which shared-LLC organization to simulate.
+
+use nucache_cache::policy::ShipPc;
+use nucache_cache::{CacheGeometry, ClassicLlc, SharedLlc};
+use nucache_core::{NuCache, NuCacheConfig};
+use nucache_partition::{baselines, PippLlc, UcpLlc};
+use std::fmt;
+
+/// Default repartitioning epoch for UCP and PIPP (LLC accesses).
+pub const PARTITION_EPOCH: u64 = 100_000;
+
+/// A shared-LLC organization under study.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// Shared LRU — the baseline everything is normalized to.
+    Lru,
+    /// DIP (thread-oblivious dynamic insertion).
+    Dip,
+    /// DRRIP (dynamic re-reference interval prediction).
+    Drrip,
+    /// TADIP-F (thread-aware dynamic insertion).
+    Tadip,
+    /// Utility-based cache partitioning.
+    Ucp,
+    /// Promotion/insertion pseudo-partitioning.
+    Pipp,
+    /// SHiP-PC (signature-based hit prediction; post-dates the paper,
+    /// included as a modern PC-based comparison point).
+    Ship,
+    /// NUcache with the given configuration.
+    NuCache(NuCacheConfig),
+}
+
+impl Scheme {
+    /// The schemes compared in the headline figures, in display order.
+    pub fn headline_suite() -> Vec<Scheme> {
+        vec![
+            Scheme::Lru,
+            Scheme::Ucp,
+            Scheme::Pipp,
+            Scheme::Tadip,
+            Scheme::NuCache(NuCacheConfig::default()),
+        ]
+    }
+
+    /// NUcache with default parameters.
+    pub fn nucache_default() -> Scheme {
+        Scheme::NuCache(NuCacheConfig::default())
+    }
+
+    /// Short name used in tables.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Lru => "lru".into(),
+            Scheme::Dip => "dip".into(),
+            Scheme::Drrip => "drrip".into(),
+            Scheme::Tadip => "tadip".into(),
+            Scheme::Ucp => "ucp".into(),
+            Scheme::Pipp => "pipp".into(),
+            Scheme::Ship => "ship-pc".into(),
+            Scheme::NuCache(c) => format!("nucache-d{}", c.deli_ways),
+        }
+    }
+
+    /// Instantiates the shared LLC for this scheme.
+    pub fn build(&self, geom: CacheGeometry, num_cores: usize, seed: u64) -> Box<dyn SharedLlc> {
+        match self {
+            Scheme::Lru => Box::new(baselines::lru(geom, num_cores)),
+            Scheme::Dip => Box::new(baselines::dip(geom, num_cores, seed)),
+            Scheme::Drrip => Box::new(baselines::drrip(geom, num_cores, seed)),
+            Scheme::Tadip => Box::new(baselines::tadip(geom, num_cores, seed)),
+            Scheme::Ucp => Box::new(UcpLlc::new(geom, num_cores, PARTITION_EPOCH)),
+            Scheme::Pipp => Box::new(PippLlc::new(geom, num_cores, PARTITION_EPOCH, seed)),
+            Scheme::Ship => Box::new(ClassicLlc::new(geom, ShipPc::new(&geom), num_cores)),
+            Scheme::NuCache(config) => {
+                let mut c = *config;
+                // Clamp the DeliWays to leave at least one MainWay on
+                // narrow test caches.
+                if c.deli_ways >= geom.associativity() {
+                    c.deli_ways = geom.associativity() / 2;
+                }
+                c.seed = seed ^ c.seed;
+                Box::new(NuCache::new(geom, num_cores, c))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucache_common::{AccessKind, CoreId, LineAddr, Pc};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(64 * 16 * 64, 16, 64)
+    }
+
+    #[test]
+    fn every_scheme_builds_and_serves() {
+        let mut schemes = Scheme::headline_suite();
+        schemes.push(Scheme::Dip);
+        schemes.push(Scheme::Drrip);
+        schemes.push(Scheme::Ship);
+        for s in schemes {
+            let mut llc = s.build(geom(), 2, 1);
+            llc.access(CoreId::new(0), Pc::new(1), LineAddr::new(7), AccessKind::Read);
+            let hit = llc.access(CoreId::new(0), Pc::new(1), LineAddr::new(7), AccessKind::Read);
+            assert!(hit.is_hit(), "{s} failed a trivial re-reference");
+            assert_eq!(llc.stats().accesses(), 2, "{s} miscounted");
+        }
+    }
+
+    #[test]
+    fn headline_suite_is_led_by_lru_and_ends_with_nucache() {
+        let suite = Scheme::headline_suite();
+        assert_eq!(suite.first().unwrap().name(), "lru");
+        assert!(suite.last().unwrap().name().starts_with("nucache"));
+    }
+
+    #[test]
+    fn nucache_deli_clamped_on_narrow_caches() {
+        let narrow = CacheGeometry::new(64 * 4 * 16, 4, 64); // 4-way
+        let llc = Scheme::nucache_default().build(narrow, 1, 0);
+        assert!(llc.scheme_name().starts_with("nucache-d2"));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Scheme::Ucp.name(), "ucp");
+        assert_eq!(Scheme::nucache_default().name(), "nucache-d8");
+        assert_eq!(format!("{}", Scheme::Pipp), "pipp");
+    }
+}

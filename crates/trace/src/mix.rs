@@ -1,0 +1,271 @@
+//! Multi-programmed workload mixes for 2/4/8-core experiments.
+
+use crate::spec::SpecWorkload;
+use std::fmt;
+
+/// A multi-programmed mix: one workload per core.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_trace::{Mix, SpecWorkload};
+/// let mix = Mix::new("demo", vec![SpecWorkload::McfLike, SpecWorkload::LbmLike]);
+/// assert_eq!(mix.num_cores(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    name: String,
+    workloads: Vec<SpecWorkload>,
+}
+
+impl Mix {
+    /// Creates a named mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty.
+    pub fn new(name: impl Into<String>, workloads: Vec<SpecWorkload>) -> Self {
+        assert!(!workloads.is_empty(), "empty mix");
+        Mix { name: name.into(), workloads }
+    }
+
+    /// The mix name as it appears in tables.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Workloads, indexed by core.
+    pub fn workloads(&self) -> &[SpecWorkload] {
+        &self.workloads
+    }
+
+    /// Number of cores the mix occupies.
+    pub fn num_cores(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Canonical 2-core mixes (the paper evaluates dual, quad and
+    /// eight-core SPEC mixes; these combine the same behaviour classes:
+    /// retention-sensitive applications against streamers, chasers and
+    /// friendly co-runners).
+    pub fn dual_core_suite() -> Vec<Mix> {
+        use SpecWorkload::*;
+        vec![
+            Mix::new("mix2_01", vec![SphinxLike, LibquantumLike]),
+            Mix::new("mix2_02", vec![McfLike, LbmLike]),
+            Mix::new("mix2_03", vec![SoplexLike, MilcLike]),
+            Mix::new("mix2_04", vec![AstarLike, LibquantumLike]),
+            Mix::new("mix2_05", vec![OmnetppLike, LbmLike]),
+            Mix::new("mix2_06", vec![SphinxLike, McfLike]),
+            Mix::new("mix2_07", vec![XalancLike, MilcLike]),
+            Mix::new("mix2_08", vec![Bzip2Like, LibquantumLike]),
+            Mix::new("mix2_09", vec![GccLike, LbmLike]),
+            Mix::new("mix2_10", vec![SoplexLike, SphinxLike]),
+            Mix::new("mix2_11", vec![HmmerLike, McfLike]),
+            Mix::new("mix2_12", vec![AstarLike, GobmkLike]),
+        ]
+    }
+
+    /// Canonical 4-core mixes.
+    pub fn quad_core_suite() -> Vec<Mix> {
+        use SpecWorkload::*;
+        vec![
+            Mix::new("mix4_01", vec![SphinxLike, LibquantumLike, McfLike, LbmLike]),
+            Mix::new("mix4_02", vec![SoplexLike, MilcLike, AstarLike, LibquantumLike]),
+            Mix::new("mix4_03", vec![OmnetppLike, LbmLike, SphinxLike, MilcLike]),
+            Mix::new("mix4_04", vec![XalancLike, LibquantumLike, Bzip2Like, LbmLike]),
+            Mix::new("mix4_05", vec![McfLike, SoplexLike, GccLike, MilcLike]),
+            Mix::new("mix4_06", vec![AstarLike, SphinxLike, HmmerLike, LibquantumLike]),
+            Mix::new("mix4_07", vec![SoplexLike, OmnetppLike, LbmLike, GobmkLike]),
+            Mix::new("mix4_08", vec![SphinxLike, XalancLike, MilcLike, SjengLike]),
+            Mix::new("mix4_09", vec![McfLike, AstarLike, LibquantumLike, LbmLike]),
+            Mix::new("mix4_10", vec![Bzip2Like, GccLike, SoplexLike, MilcLike]),
+        ]
+    }
+
+    /// Canonical 8-core mixes.
+    pub fn eight_core_suite() -> Vec<Mix> {
+        use SpecWorkload::*;
+        vec![
+            Mix::new(
+                "mix8_01",
+                vec![
+                    SphinxLike,
+                    LibquantumLike,
+                    McfLike,
+                    LbmLike,
+                    SoplexLike,
+                    MilcLike,
+                    AstarLike,
+                    LibquantumLike,
+                ],
+            ),
+            Mix::new(
+                "mix8_02",
+                vec![
+                    OmnetppLike,
+                    LbmLike,
+                    SphinxLike,
+                    MilcLike,
+                    XalancLike,
+                    LibquantumLike,
+                    Bzip2Like,
+                    LbmLike,
+                ],
+            ),
+            Mix::new(
+                "mix8_03",
+                vec![
+                    McfLike,
+                    SoplexLike,
+                    GccLike,
+                    MilcLike,
+                    AstarLike,
+                    SphinxLike,
+                    HmmerLike,
+                    LibquantumLike,
+                ],
+            ),
+            Mix::new(
+                "mix8_04",
+                vec![
+                    SoplexLike,
+                    OmnetppLike,
+                    LbmLike,
+                    GobmkLike,
+                    SphinxLike,
+                    XalancLike,
+                    MilcLike,
+                    SjengLike,
+                ],
+            ),
+            Mix::new(
+                "mix8_05",
+                vec![
+                    McfLike,
+                    AstarLike,
+                    LibquantumLike,
+                    LbmLike,
+                    Bzip2Like,
+                    GccLike,
+                    SoplexLike,
+                    MilcLike,
+                ],
+            ),
+            Mix::new(
+                "mix8_06",
+                vec![
+                    SphinxLike,
+                    SphinxLike,
+                    SoplexLike,
+                    AstarLike,
+                    LibquantumLike,
+                    LbmLike,
+                    MilcLike,
+                    McfLike,
+                ],
+            ),
+        ]
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            f.write_str(w.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Incremental construction of ad-hoc mixes.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_trace::{MixBuilder, SpecWorkload};
+/// let mix = MixBuilder::new("custom")
+///     .add(SpecWorkload::McfLike)
+///     .add(SpecWorkload::SphinxLike)
+///     .build();
+/// assert_eq!(mix.num_cores(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixBuilder {
+    name: String,
+    workloads: Vec<SpecWorkload>,
+}
+
+impl MixBuilder {
+    /// Starts a mix with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MixBuilder { name: name.into(), workloads: Vec::new() }
+    }
+
+    /// Appends a workload on the next core.
+    #[must_use]
+    pub fn add(mut self, w: SpecWorkload) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    /// Finishes the mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workloads were added.
+    pub fn build(self) -> Mix {
+        Mix::new(self.name, self.workloads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_shapes() {
+        assert_eq!(Mix::dual_core_suite().len(), 12);
+        assert!(Mix::dual_core_suite().iter().all(|m| m.num_cores() == 2));
+        assert_eq!(Mix::quad_core_suite().len(), 10);
+        assert!(Mix::quad_core_suite().iter().all(|m| m.num_cores() == 4));
+        assert_eq!(Mix::eight_core_suite().len(), 6);
+        assert!(Mix::eight_core_suite().iter().all(|m| m.num_cores() == 8));
+    }
+
+    #[test]
+    fn suite_names_unique() {
+        let mut names: Vec<String> = Mix::dual_core_suite()
+            .iter()
+            .chain(Mix::quad_core_suite().iter())
+            .chain(Mix::eight_core_suite().iter())
+            .map(|m| m.name().to_string())
+            .collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let m = MixBuilder::new("b").add(SpecWorkload::McfLike).add(SpecWorkload::LbmLike).build();
+        assert_eq!(m.workloads()[1], SpecWorkload::LbmLike);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mix")]
+    fn empty_mix_rejected() {
+        let _ = MixBuilder::new("e").build();
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let m = Mix::new("d", vec![SpecWorkload::McfLike]);
+        assert_eq!(format!("{m}"), "d(mcf_like)");
+    }
+}

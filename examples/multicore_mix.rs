@@ -1,0 +1,49 @@
+//! End-to-end 4-core mix: evaluate every headline scheme on one mix and
+//! report the multiprogrammed metrics.
+//!
+//! Run with: `cargo run --release --example multicore_mix`
+
+use nucache_repro::common::table::{f3, Table};
+use nucache_repro::sim::{Evaluator, Scheme, SimConfig};
+use nucache_repro::trace::{Mix, SpecWorkload};
+
+fn main() {
+    // Shorter runs than the paper-scale experiments so the example
+    // finishes in seconds.
+    let config = SimConfig::baseline(4).with_run_lengths(100_000, 300_000);
+    let mut eval = Evaluator::new(config);
+    let mix = Mix::new(
+        "example",
+        vec![
+            SpecWorkload::SphinxLike,
+            SpecWorkload::LibquantumLike,
+            SpecWorkload::McfLike,
+            SpecWorkload::LbmLike,
+        ],
+    );
+    println!("mix: {mix}\n");
+
+    let mut t = Table::new(["scheme", "weighted_speedup", "antt", "throughput", "fairness"]);
+    let mut lru_ws = None;
+    for scheme in Scheme::headline_suite() {
+        let (_, m) = eval.evaluate(&mix, &scheme);
+        if scheme.name() == "lru" {
+            lru_ws = Some(m.weighted_speedup);
+        }
+        t.row([
+            scheme.name(),
+            f3(m.weighted_speedup),
+            f3(m.antt),
+            f3(m.throughput),
+            f3(m.fairness),
+        ]);
+    }
+    print!("{}", t.to_text());
+    if let Some(base) = lru_ws {
+        let (_, nuc) = eval.evaluate(&mix, &Scheme::nucache_default());
+        println!(
+            "\nNUcache improves weighted speedup over shared LRU by {:.1}%",
+            (nuc.weighted_speedup / base - 1.0) * 100.0
+        );
+    }
+}
