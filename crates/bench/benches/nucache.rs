@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use nucache_bench::{drive_shared_llc, mixed_pattern};
-use nucache_cache::{CacheGeometry, ClassicLlc};
 use nucache_cache::policy::Lru;
+use nucache_cache::{CacheGeometry, ClassicLlc};
 use nucache_common::{Log2Histogram, Pc};
 use nucache_core::selector::{select_pcs, Candidate};
 use nucache_core::{NuCache, NuCacheConfig, SelectionStrategy};
@@ -46,8 +46,7 @@ fn bench_monitor_sampling(c: &mut Criterion) {
         group.bench_function(format!("shift_{shift}"), |b| {
             b.iter_batched_ref(
                 || {
-                    let mut cfg = NuCacheConfig::default();
-                    cfg.monitor_shift = shift;
+                    let cfg = NuCacheConfig { monitor_shift: shift, ..NuCacheConfig::default() };
                     NuCache::new(geom, 1, cfg)
                 },
                 |llc| black_box(drive_shared_llc(llc, &pattern)),
@@ -94,7 +93,8 @@ fn bench_promotion_ablation(c: &mut Criterion) {
     let pattern = mixed_pattern(50_000, 10_000, 7); // loop exceeding MainWays
     let mut group = c.benchmark_group("deli_promotion_50k");
     group.throughput(Throughput::Elements(pattern.len() as u64));
-    let variants = [("promote", true, false), ("fifo", false, false), ("second_chance", false, true)];
+    let variants =
+        [("promote", true, false), ("fifo", false, false), ("second_chance", false, true)];
     for (name, promote, refresh) in variants {
         group.bench_function(name, |b| {
             b.iter_batched_ref(

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use nucache_bench::{drive_policy_cache, mixed_pattern};
-use nucache_cache::policy::{Bip, Dip, Drrip, Fifo, Lip, Lru, Nru, RandomEvict, Srrip, TadipF, TreePlru};
+use nucache_cache::policy::{
+    Bip, Dip, Drrip, Fifo, Lip, Lru, Nru, RandomEvict, Srrip, TadipF, TreePlru,
+};
 use nucache_cache::{BasicCache, CacheGeometry, ReplacementPolicy};
 use std::hint::black_box;
 

@@ -23,6 +23,33 @@ fn bench_set_array(c: &mut Criterion) {
         let arr = SetArray::new(geom);
         b.iter(|| black_box(arr.find(black_box(5), black_box(42))));
     });
+    // Steady-state churn: interleaved fills, probes and invalidations
+    // across many sets — the access pattern the simulator actually
+    // produces, rather than a single hot set.
+    const CHURN: usize = 100_000;
+    group.throughput(Throughput::Elements(CHURN as u64));
+    group.bench_function("fill_find_churn_100k", |b| {
+        b.iter_batched_ref(
+            || SetArray::new(geom),
+            |arr| {
+                let sets = arr.geometry().num_sets();
+                let ways = arr.geometry().associativity();
+                let mut hits = 0u64;
+                for i in 0..CHURN as u64 {
+                    let set = (i as usize).wrapping_mul(7) % sets;
+                    let way = (i as usize).wrapping_mul(5) % ways;
+                    let tag = i % 32;
+                    arr.fill(set, way, LineMeta::new(tag, CoreId::new(0), Pc::new(0), i & 3 == 0));
+                    hits += u64::from(arr.find(set, tag).is_some());
+                    if i % 9 == 0 {
+                        arr.invalidate(set, way);
+                    }
+                }
+                black_box(hits)
+            },
+            BatchSize::LargeInput,
+        );
+    });
     group.finish();
 }
 

@@ -32,11 +32,8 @@ pub fn mixed_pattern(n: usize, loop_lines: u64, seed: u64) -> Vec<CannedAccess> 
         } else {
             // Mostly sequential loop with occasional random jumps so the
             // pattern is not trivially prefetchable.
-            let line = if rng.chance(0.05) {
-                rng.below(loop_lines)
-            } else {
-                (i as u64) % loop_lines
-            };
+            let line =
+                if rng.chance(0.05) { rng.below(loop_lines) } else { (i as u64) % loop_lines };
             out.push((LineAddr::new(line), Pc::new(0x100)));
         }
     }

@@ -2,7 +2,7 @@
 
 use crate::config::CacheGeometry;
 use crate::meta::{EvictedLine, LineMeta};
-use nucache_common::LineAddr;
+use nucache_common::{CoreId, LineAddr, Pc};
 
 /// Tag/metadata storage for a set-associative structure, with no
 /// replacement policy of its own.
@@ -11,6 +11,20 @@ use nucache_common::LineAddr;
 /// MainWays/DeliWays) keep their ordering state elsewhere and use this
 /// array for the mechanical parts: tag match, fill into a way, invalidate,
 /// dirty-bit maintenance.
+///
+/// # Layout
+///
+/// Storage is struct-of-arrays rather than `Vec<Option<LineMeta>>`: tags
+/// live in one packed `Vec<u64>` (indexed `set * assoc + way`), validity
+/// and dirty state are one `u64` bitmask per set, and the rarely-read
+/// core/PC attribution sits in side arrays. The hot probes — [`find`],
+/// [`invalid_way`], [`occupancy`] — reduce to a branchless compare loop
+/// plus bit tricks over the masks instead of chasing `Option` discriminants
+/// through interleaved metadata.
+///
+/// [`find`]: SetArray::find
+/// [`invalid_way`]: SetArray::invalid_way
+/// [`occupancy`]: SetArray::occupancy
 ///
 /// # Examples
 ///
@@ -30,14 +44,31 @@ use nucache_common::LineAddr;
 #[derive(Debug, Clone)]
 pub struct SetArray {
     geom: CacheGeometry,
-    // sets[set * assoc + way]
-    frames: Vec<Option<LineMeta>>,
+    // All per-frame vectors are indexed `set * assoc + way`.
+    tags: Vec<u64>,
+    cores: Vec<CoreId>,
+    pcs: Vec<Pc>,
+    // Per-set bitmasks, bit `way` of `valid[set]` / `dirty[set]`.
+    valid: Vec<u64>,
+    dirty: Vec<u64>,
 }
 
 impl SetArray {
     /// Creates an empty array for the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64 (one mask word per set).
     pub fn new(geom: CacheGeometry) -> Self {
-        SetArray { geom, frames: vec![None; geom.num_lines()] }
+        assert!(geom.associativity() <= 64, "associativity above 64 unsupported");
+        SetArray {
+            geom,
+            tags: vec![0; geom.num_lines()],
+            cores: vec![CoreId::new(0); geom.num_lines()],
+            pcs: vec![Pc::new(0); geom.num_lines()],
+            valid: vec![0; geom.num_sets()],
+            dirty: vec![0; geom.num_sets()],
+        }
     }
 
     /// The geometry this array was built for.
@@ -51,52 +82,100 @@ impl SetArray {
         set * self.geom.associativity()
     }
 
-    /// The frames of one set, indexed by way.
-    pub fn set(&self, set: usize) -> &[Option<LineMeta>] {
-        let b = self.base(set);
-        &self.frames[b..b + self.geom.associativity()]
+    /// Bitmask with one bit per way.
+    #[inline]
+    fn full_mask(&self) -> u64 {
+        let assoc = self.geom.associativity();
+        if assoc == 64 {
+            u64::MAX
+        } else {
+            (1u64 << assoc) - 1
+        }
+    }
+
+    #[inline]
+    fn way_bit(&self, set: usize, way: usize) -> u64 {
+        debug_assert!(way < self.geom.associativity(), "way index out of range");
+        debug_assert!(set < self.geom.num_sets(), "set index out of range");
+        1u64 << way
     }
 
     /// Way holding `tag` in `set`, if resident.
+    #[inline]
     pub fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        self.set(set).iter().position(|f| matches!(f, Some(m) if m.tag == tag))
+        let base = self.base(set);
+        let assoc = self.geom.associativity();
+        let mut matches = 0u64;
+        for way in 0..assoc {
+            matches |= u64::from(self.tags[base + way] == tag) << way;
+        }
+        let hits = matches & self.valid[set];
+        if hits == 0 {
+            None
+        } else {
+            Some(hits.trailing_zeros() as usize)
+        }
     }
 
     /// First invalid way in `set`, if any.
+    #[inline]
     pub fn invalid_way(&self, set: usize) -> Option<usize> {
-        self.set(set).iter().position(Option::is_none)
+        let free = !self.valid[set] & self.full_mask();
+        if free == 0 {
+            None
+        } else {
+            Some(free.trailing_zeros() as usize)
+        }
     }
 
     /// Number of valid lines in `set`.
+    #[inline]
     pub fn occupancy(&self, set: usize) -> usize {
-        self.set(set).iter().filter(|f| f.is_some()).count()
+        self.valid[set].count_ones() as usize
     }
 
-    /// Metadata at `(set, way)`.
-    pub fn get(&self, set: usize, way: usize) -> Option<&LineMeta> {
-        self.frames[self.base(set) + way].as_ref()
-    }
-
-    /// Mutable metadata at `(set, way)`.
-    pub fn get_mut(&mut self, set: usize, way: usize) -> Option<&mut LineMeta> {
+    /// Metadata at `(set, way)`, reassembled from the packed columns.
+    #[inline]
+    pub fn get(&self, set: usize, way: usize) -> Option<LineMeta> {
+        let bit = self.way_bit(set, way);
+        if self.valid[set] & bit == 0 {
+            return None;
+        }
         let i = self.base(set) + way;
-        self.frames[i].as_mut()
+        Some(LineMeta {
+            tag: self.tags[i],
+            dirty: self.dirty[set] & bit != 0,
+            core: self.cores[i],
+            pc: self.pcs[i],
+        })
     }
 
     /// Writes `meta` into `(set, way)`, returning the displaced line (as an
     /// [`EvictedLine`] with its full address reconstructed) if the frame
     /// was valid.
     pub fn fill(&mut self, set: usize, way: usize, meta: LineMeta) -> Option<EvictedLine> {
+        let old = self.get(set, way).map(|m| self.to_evicted(set, m));
+        let bit = self.way_bit(set, way);
         let i = self.base(set) + way;
-        let old = self.frames[i].replace(meta);
-        old.map(|m| self.to_evicted(set, m))
+        self.tags[i] = meta.tag;
+        self.cores[i] = meta.core;
+        self.pcs[i] = meta.pc;
+        self.valid[set] |= bit;
+        if meta.dirty {
+            self.dirty[set] |= bit;
+        } else {
+            self.dirty[set] &= !bit;
+        }
+        old
     }
 
     /// Invalidates `(set, way)`, returning the line that was there.
     pub fn invalidate(&mut self, set: usize, way: usize) -> Option<EvictedLine> {
-        let i = self.base(set) + way;
-        let old = self.frames[i].take();
-        old.map(|m| self.to_evicted(set, m))
+        let old = self.get(set, way).map(|m| self.to_evicted(set, m));
+        let bit = self.way_bit(set, way);
+        self.valid[set] &= !bit;
+        self.dirty[set] &= !bit;
+        old
     }
 
     /// Marks `(set, way)` dirty.
@@ -106,17 +185,23 @@ impl SetArray {
     /// Panics if the frame is invalid — callers only mark lines they just
     /// hit or filled.
     pub fn mark_dirty(&mut self, set: usize, way: usize) {
-        self.get_mut(set, way).expect("marking an invalid frame dirty").dirty = true;
+        let bit = self.way_bit(set, way);
+        assert!(self.valid[set] & bit != 0, "marking an invalid frame dirty");
+        self.dirty[set] |= bit;
     }
 
     /// Reconstructs the full line address of the line at `(set, way)`.
     pub fn line_addr(&self, set: usize, way: usize) -> Option<LineAddr> {
-        self.get(set, way).map(|m| self.geom.line_of(m.tag, set))
+        let bit = self.way_bit(set, way);
+        if self.valid[set] & bit == 0 {
+            return None;
+        }
+        Some(self.geom.line_of(self.tags[self.base(set) + way], set))
     }
 
     /// Total valid lines across all sets.
     pub fn total_occupancy(&self) -> usize {
-        self.frames.iter().filter(|f| f.is_some()).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
     fn to_evicted(&self, set: usize, m: LineMeta) -> EvictedLine {
@@ -161,6 +246,16 @@ mod tests {
     }
 
     #[test]
+    fn fill_clears_stale_dirty_bit() {
+        let (_, mut arr) = small();
+        arr.fill(2, 1, meta(5));
+        arr.mark_dirty(2, 1);
+        arr.fill(2, 1, meta(9)); // clean fill over a dirty line
+        let ev = arr.invalidate(2, 1).unwrap();
+        assert!(!ev.dirty);
+    }
+
+    #[test]
     fn invalid_way_scans_in_order() {
         let (_, mut arr) = small();
         arr.fill(3, 0, meta(1));
@@ -169,6 +264,16 @@ mod tests {
         arr.fill(3, 2, meta(3));
         arr.fill(3, 3, meta(4));
         assert_eq!(arr.invalid_way(3), None);
+    }
+
+    #[test]
+    fn stale_tag_without_valid_bit_misses() {
+        let (_, mut arr) = small();
+        arr.fill(0, 1, meta(7));
+        arr.invalidate(0, 1);
+        // The tag word still holds 7; the cleared valid bit must win.
+        assert_eq!(arr.find(0, 7), None);
+        assert_eq!(arr.get(0, 1), None);
     }
 
     #[test]
@@ -188,6 +293,14 @@ mod tests {
         arr.fill(1, 1, meta(2));
         arr.fill(2, 2, meta(3));
         assert_eq!(arr.total_occupancy(), 3);
+    }
+
+    #[test]
+    fn get_roundtrips_metadata() {
+        let (_, mut arr) = small();
+        let m = LineMeta::new(11, CoreId::new(3), Pc::new(0x400), true);
+        arr.fill(1, 2, m);
+        assert_eq!(arr.get(1, 2), Some(m));
     }
 
     #[test]

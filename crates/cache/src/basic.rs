@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn lines_map_to_correct_sets() {
         let mut c = cache(4, 1); // 4 sets, direct-mapped
-        // Lines 0..4 map to distinct sets: all coexist.
+                                 // Lines 0..4 map to distinct sets: all coexist.
         for n in 0..4 {
             read(&mut c, n);
         }

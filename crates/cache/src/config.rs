@@ -40,7 +40,7 @@ impl CacheGeometry {
         let block_bits = block_bytes.trailing_zeros();
         let lines = size_bytes / block_bytes as u64;
         assert!(
-            lines % associativity as u64 == 0,
+            lines.is_multiple_of(associativity as u64),
             "capacity must be a whole number of sets (lines={lines}, assoc={associativity})"
         );
         let sets = lines / associativity as u64;
@@ -124,7 +124,7 @@ impl CacheGeometry {
 impl fmt::Display for CacheGeometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kb = self.size_bytes / 1024;
-        if kb >= 1024 && kb % 1024 == 0 {
+        if kb >= 1024 && kb.is_multiple_of(1024) {
             write!(f, "{}MB/{}-way/{}B", kb / 1024, self.associativity, self.block_bytes)
         } else {
             write!(f, "{}KB/{}-way/{}B", kb, self.associativity, self.block_bytes)

@@ -68,9 +68,7 @@ impl RecencyCore {
 
     fn victim(&self, set: usize) -> usize {
         let base = set * self.assoc;
-        (0..self.assoc)
-            .min_by_key(|&w| self.last_touch[base + w])
-            .expect("non-zero associativity")
+        (0..self.assoc).min_by_key(|&w| self.last_touch[base + w]).expect("non-zero associativity")
     }
 }
 
@@ -190,9 +188,9 @@ impl ReplacementPolicy for Dip {
     }
 
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
-        let ins = if self.selector.use_a(set) {
-            Insertion::Mru
-        } else if self.rng.chance(self.epsilon) {
+        // Short-circuit keeps the RNG stream identical: the epsilon draw
+        // only happens for BIP-following sets, as before.
+        let ins = if self.selector.use_a(set) || self.rng.chance(self.epsilon) {
             Insertion::Mru
         } else {
             Insertion::Lru

@@ -34,9 +34,7 @@ impl ReplacementPolicy for Fifo {
 
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.assoc;
-        (0..self.assoc)
-            .min_by_key(|&w| self.fill_stamp[base + w])
-            .expect("non-zero associativity")
+        (0..self.assoc).min_by_key(|&w| self.fill_stamp[base + w]).expect("non-zero associativity")
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {

@@ -45,9 +45,7 @@ impl Lru {
     /// Used by monitors that need stack positions (UMON).
     pub fn recency_rank(&self, set: usize, way: usize) -> usize {
         let mine = self.last_touch[self.idx(set, way)];
-        (0..self.assoc)
-            .filter(|&w| w != way && self.last_touch[self.idx(set, w)] > mine)
-            .count()
+        (0..self.assoc).filter(|&w| w != way && self.last_touch[self.idx(set, w)] > mine).count()
     }
 }
 
@@ -62,9 +60,7 @@ impl ReplacementPolicy for Lru {
 
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.assoc;
-        (0..self.assoc)
-            .min_by_key(|&w| self.last_touch[base + w])
-            .expect("non-zero associativity")
+        (0..self.assoc).min_by_key(|&w| self.last_touch[base + w]).expect("non-zero associativity")
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {

@@ -101,8 +101,6 @@ pub(crate) mod testutil {
 
     /// Accesses line number `n` (sets are ignored: single-set geometry).
     pub fn touch<P: ReplacementPolicy>(cache: &mut BasicCache<P>, n: u64) -> bool {
-        cache
-            .access(LineAddr::new(n), AccessKind::Read, CoreId::new(0), Pc::new(n))
-            .is_hit()
+        cache.access(LineAddr::new(n), AccessKind::Read, CoreId::new(0), Pc::new(n)).is_hit()
     }
 }

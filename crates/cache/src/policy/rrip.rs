@@ -171,9 +171,9 @@ impl ReplacementPolicy for Drrip {
     }
 
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
-        let rrpv = if self.selector.use_a(set) {
-            RRPV_MAX - 1
-        } else if self.rng.chance(BRRIP_EPSILON) {
+        // Short-circuit keeps the RNG stream identical: the epsilon draw
+        // only happens for BRRIP-following sets, as before.
+        let rrpv = if self.selector.use_a(set) || self.rng.chance(BRRIP_EPSILON) {
             RRPV_MAX - 1
         } else {
             RRPV_MAX
@@ -279,7 +279,12 @@ mod tests {
         for _ in 0..60 {
             for k in 0..6u64 {
                 for s in 0..64u64 {
-                    c.access(LineAddr::new(s + 64 * k), AccessKind::Read, CoreId::new(0), Pc::new(1));
+                    c.access(
+                        LineAddr::new(s + 64 * k),
+                        AccessKind::Read,
+                        CoreId::new(0),
+                        Pc::new(1),
+                    );
                 }
             }
         }

@@ -76,7 +76,7 @@ impl TadipF {
         let offset = set % self.block;
         if offset < 2 * self.num_cores {
             let core = offset / 2;
-            if offset % 2 == 0 {
+            if offset.is_multiple_of(2) {
                 TadipRole::LeaderMru(core)
             } else {
                 TadipRole::LeaderBip(core)
@@ -146,9 +146,7 @@ impl ReplacementPolicy for TadipF {
 
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.assoc;
-        (0..self.assoc)
-            .min_by_key(|&w| self.last_touch[base + w])
-            .expect("non-zero associativity")
+        (0..self.assoc).min_by_key(|&w| self.last_touch[base + w]).expect("non-zero associativity")
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
@@ -175,8 +173,8 @@ mod tests {
     fn leader_layout_covers_all_cores() {
         let g = geom();
         let t = TadipF::new(&g, 4, 1);
-        let mut mru = vec![0; 4];
-        let mut bip = vec![0; 4];
+        let mut mru = [0; 4];
+        let mut bip = [0; 4];
         for s in 0..g.num_sets() {
             match t.role(s) {
                 TadipRole::LeaderMru(c) => mru[c] += 1,
@@ -266,7 +264,12 @@ mod tests {
         let g = CacheGeometry::new(64 * 4 * 8, 4, 64); // 8 sets
         let mut c = BasicCache::new(g, TadipF::new(&g, 2, 1));
         for n in 0..200u64 {
-            c.access(LineAddr::new(n % 40), AccessKind::Read, CoreId::new((n % 2) as u8), Pc::new(1));
+            c.access(
+                LineAddr::new(n % 40),
+                AccessKind::Read,
+                CoreId::new((n % 2) as u8),
+                Pc::new(1),
+            );
         }
         assert_eq!(c.stats().accesses(), 200);
     }

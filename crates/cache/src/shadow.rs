@@ -95,7 +95,9 @@ impl UtilityMonitor {
             // Rank before promotion: how many ways are younger.
             let mine = self.stamps[base + way];
             let rank = (0..self.assoc)
-                .filter(|&w| w != way && self.stamps[base + w] > mine && self.tags[base + w].is_some())
+                .filter(|&w| {
+                    w != way && self.stamps[base + w] > mine && self.tags[base + w].is_some()
+                })
                 .count();
             self.hits_at_rank[rank] += 1;
             self.stamps[base + way] = self.stamp;
@@ -103,11 +105,9 @@ impl UtilityMonitor {
         }
         self.misses += 1;
         // Fill: pick an invalid frame, else the LRU one.
-        let way = (0..self.assoc)
-            .find(|&w| self.tags[base + w].is_none())
-            .unwrap_or_else(|| {
-                (0..self.assoc).min_by_key(|&w| self.stamps[base + w]).expect("assoc > 0")
-            });
+        let way = (0..self.assoc).find(|&w| self.tags[base + w].is_none()).unwrap_or_else(|| {
+            (0..self.assoc).min_by_key(|&w| self.stamps[base + w]).expect("assoc > 0")
+        });
         self.tags[base + way] = Some(tag);
         self.stamps[base + way] = self.stamp;
         None

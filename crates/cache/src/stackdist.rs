@@ -100,11 +100,7 @@ impl StackDistanceProfiler {
     /// see over the observed stream.
     pub fn lru_hits(&self, ways: usize) -> u64 {
         self.exact.iter().take(ways.min(MAX_EXACT)).sum::<u64>()
-            + if ways > MAX_EXACT {
-                self.tail.count_le(ways as u64 - 1)
-            } else {
-                0
-            }
+            + if ways > MAX_EXACT { self.tail.count_le(ways as u64 - 1) } else { 0 }
     }
 
     /// Full LRU miss-ratio curve for associativities `0..=max_ways`.
@@ -167,11 +163,7 @@ mod tests {
                 profiler.observe(l);
                 cache.access(l, AccessKind::Read, CoreId::new(0), Pc::new(0));
             }
-            assert_eq!(
-                profiler.lru_hits(ways),
-                cache.stats().hits,
-                "mismatch at {ways} ways"
-            );
+            assert_eq!(profiler.lru_hits(ways), cache.stats().hits, "mismatch at {ways} ways");
         }
     }
 

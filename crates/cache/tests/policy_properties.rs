@@ -21,7 +21,9 @@ fn check_policy<P: ReplacementPolicy>(policy: P, trace: &[(u64, bool)]) {
         let kind = if w { AccessKind::Write } else { AccessKind::Read };
         cache.access(LineAddr::new(line), kind, CoreId::new(0), Pc::new(line % 7));
         assert!(
-            cache.access(LineAddr::new(line), AccessKind::Read, CoreId::new(0), Pc::new(0)).is_hit(),
+            cache
+                .access(LineAddr::new(line), AccessKind::Read, CoreId::new(0), Pc::new(0))
+                .is_hit(),
             "immediate re-access must hit"
         );
         assert!(cache.occupancy() <= g.num_lines());

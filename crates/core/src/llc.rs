@@ -311,7 +311,7 @@ impl SharedLlc for NuCache {
                     // victim through the normal retirement path (which
                     // admission-checks it into the freed slot only if its
                     // PC is chosen).
-                    let deli_meta = *self.array.get(set, way).expect("hit way valid");
+                    let deli_meta = self.array.get(set, way).expect("hit way valid");
                     self.array.invalidate(set, way);
                     let mv = (0..self.main_ways)
                         .find(|&w| self.array.get(set, w).is_none())
@@ -336,15 +336,11 @@ impl SharedLlc for NuCache {
         // Fill into the MainWays: invalid way first, else LRU victim whose
         // line retires (possibly into the DeliWays).
         let meta = LineMeta::new(tag, core, pc, kind.is_write());
-        let (way, leaving) = match (0..self.main_ways).find(|&w| self.array.get(set, w).is_none())
-        {
+        let (way, leaving) = match (0..self.main_ways).find(|&w| self.array.get(set, w).is_none()) {
             Some(w) => (w, None),
             None => {
                 let w = self.main_victim(set);
-                let victim = self
-                    .array
-                    .invalidate(set, w)
-                    .expect("MainWays full, victim valid");
+                let victim = self.array.invalidate(set, w).expect("MainWays full, victim valid");
                 (w, self.retire_from_main(set, victim))
             }
         };
@@ -390,9 +386,7 @@ mod tests {
     }
 
     fn cfg(deli: usize) -> NuCacheConfig {
-        NuCacheConfig::default()
-            .with_deli_ways(deli)
-            .with_epoch_len(1000)
+        NuCacheConfig::default().with_deli_ways(deli).with_epoch_len(1000)
     }
 
     fn read(llc: &mut NuCache, pc: u64, line: u64) -> AccessOutcome {
@@ -532,8 +526,8 @@ mod tests {
             read(&mut llc, 1, 2); // evicts 0 -> FIFO
             read(&mut llc, 1, 3); // evicts 1 -> FIFO (0 is FIFO head)
             assert!(read(&mut llc, 1, 0).is_hit()); // deli hit on 0
-            // One more arrival: pure FIFO drops head (= 0); with refresh
-            // the hit moved 0 to the tail, so 1 is dropped instead.
+                                                    // One more arrival: pure FIFO drops head (= 0); with refresh
+                                                    // the hit moved 0 to the tail, so 1 is dropped instead.
             read(&mut llc, 1, 4); // evicts 2 -> FIFO drops one line
             read(&mut llc, 1, 0).is_hit()
         };
@@ -580,7 +574,7 @@ mod tests {
         read(&mut llc, 1, 1);
         read(&mut llc, 1, 2); // dirty 0 -> DeliWays
         read(&mut llc, 1, 3); // dirty 1 -> DeliWays
-        // Push 0 out of the DeliWays FIFO: two more chosen evictions.
+                              // Push 0 out of the DeliWays FIFO: two more chosen evictions.
         read(&mut llc, 1, 4); // evicts 2 -> DeliWays, FIFO drops 0
         let out = read(&mut llc, 1, 5);
         // The drop of a dirty line must be visible as a writeback

@@ -48,14 +48,13 @@ impl Overhead {
 /// histograms; the chosen-PC table.
 pub fn nucache_overhead(geom: &CacheGeometry, config: &NuCacheConfig) -> Overhead {
     let lines = geom.num_lines() as u64;
-    let per_line_bits = lines * PC_ID_BITS
-        + (geom.num_sets() as u64) * (config.deli_ways as u64) * COUNTER_BITS;
+    let per_line_bits =
+        lines * PC_ID_BITS + (geom.num_sets() as u64) * (config.deli_ways as u64) * COUNTER_BITS;
     let sampled_sets = (geom.num_sets() >> config.monitor_shift).max(1) as u64;
     let buffer_bits =
         sampled_sets * config.monitor_depth as u64 * (PARTIAL_TAG_BITS + PC_ID_BITS + COUNTER_BITS);
     let clock_bits = sampled_sets * COUNTER_BITS;
-    let hist_bits =
-        config.max_candidates as u64 * config.histogram_buckets as u64 * COUNTER_BITS;
+    let hist_bits = config.max_candidates as u64 * config.histogram_buckets as u64 * COUNTER_BITS;
     let tracker_bits = config.max_candidates as u64 * (PC_ID_BITS + 32 + COUNTER_BITS);
     let control_bits = config.max_candidates as u64; // chosen bit-vector
     Overhead {

@@ -63,10 +63,8 @@ fn expected_hits(
 ) -> (u64, u64) {
     let fills: u64 = idx.iter().map(|&i| candidates[i].fills).sum();
     let life = extra_lifetime(deli_ways, fills, accesses);
-    let hits = idx
-        .iter()
-        .map(|&i| candidates[i].histogram.as_ref().map_or(0, |h| h.count_le(life)))
-        .sum();
+    let hits =
+        idx.iter().map(|&i| candidates[i].histogram.as_ref().map_or(0, |h| h.count_le(life))).sum();
     (hits, life)
 }
 

@@ -7,26 +7,23 @@ use proptest::prelude::*;
 
 /// Strategy producing a plausible candidate pool.
 fn candidates_strategy(max: usize) -> impl Strategy<Value = Vec<Candidate>> {
-    prop::collection::vec(
-        (1u64..50_000, 0u64..20_000, 0u64..5_000, any::<bool>()),
-        1..max,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (fills, dist, mass, with_hist))| Candidate {
-                pc: Pc::new(i as u64 * 8 + 0x400),
-                fills,
-                histogram: with_hist.then(|| {
-                    let mut h = Log2Histogram::new(24);
-                    if mass > 0 {
-                        h.record_n(dist, mass);
-                    }
-                    h
-                }),
-            })
-            .collect()
-    })
+    prop::collection::vec((1u64..50_000, 0u64..20_000, 0u64..5_000, any::<bool>()), 1..max)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (fills, dist, mass, with_hist))| Candidate {
+                    pc: Pc::new(i as u64 * 8 + 0x400),
+                    fills,
+                    histogram: with_hist.then(|| {
+                        let mut h = Log2Histogram::new(24);
+                        if mass > 0 {
+                            h.record_n(dist, mass);
+                        }
+                        h
+                    }),
+                })
+                .collect()
+        })
 }
 
 proptest! {

@@ -54,7 +54,10 @@ impl MultiProgramMetrics {
             shared_ipc.iter().zip(solo_ipc).map(|(&s, &a)| s / a).collect();
         let weighted_speedup = per_core_speedup.iter().sum();
         let antt = mean(
-            &per_core_speedup.iter().map(|&s| if s > 0.0 { 1.0 / s } else { f64::INFINITY }).collect::<Vec<_>>(),
+            &per_core_speedup
+                .iter()
+                .map(|&s| if s > 0.0 { 1.0 / s } else { f64::INFINITY })
+                .collect::<Vec<_>>(),
         );
         let harmonic_speedup = harmonic_mean(&per_core_speedup);
         let throughput = shared_ipc.iter().sum();

@@ -1,12 +1,83 @@
-//! Runs every table and figure of the evaluation in sequence.
+//! Runs every table and figure of the evaluation.
+//!
+//! Simulations inside each step fan out over a worker pool (`--jobs N`,
+//! `NUCACHE_JOBS`, default: available parallelism); emitted CSVs are
+//! identical at any worker count. Per-step wall time and simulation
+//! throughput land in `bench_summary.json` next to the CSVs.
+
+use nucache_sim::args::Args;
+use nucache_sim::{default_jobs, set_default_jobs, take_simulated_accesses};
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+struct StepStats {
+    id: &'static str,
+    seconds: f64,
+    simulated_accesses: u64,
+}
+
+fn write_bench_summary(jobs: usize, total_seconds: f64, steps: &[StepStats]) {
+    let path = nucache_experiments::out_dir().join("bench_summary.json");
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"quick\": {},\n", nucache_experiments::quick_mode()));
+    json.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
+    json.push_str("  \"steps\": [\n");
+    for (i, s) in steps.iter().enumerate() {
+        let rate = if s.seconds > 0.0 { s.simulated_accesses as f64 / s.seconds } else { 0.0 };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"simulated_accesses\": {}, \"accesses_per_sec\": {:.0}}}{}\n",
+            s.id,
+            s.seconds,
+            s.simulated_accesses,
+            rate,
+            if i + 1 < steps.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&path, &json)
+    };
+    match write() {
+        Ok(()) => eprintln!("[run_all] wrote {}", path.display()),
+        Err(e) => eprintln!("[run_all] failed to write {}: {e}", path.display()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        println!("options: --jobs N (worker threads; default: NUCACHE_JOBS or available parallelism) --help");
+        return Ok(());
+    }
+    let jobs: usize = args.get_num("jobs", 0).map_err(|e| e.to_string())?;
+    args.reject_unknown().map_err(|e| e.to_string())?;
+    if jobs >= 1 {
+        set_default_jobs(jobs);
+    }
+    let jobs = default_jobs();
+    eprintln!("[run_all] using {jobs} worker thread{}", if jobs == 1 { "" } else { "s" });
+
     let t0 = Instant::now();
-    let step = |name: &str, f: &dyn Fn()| {
+    let mut stats: Vec<StepStats> = Vec::new();
+    take_simulated_accesses(); // discard anything counted before the first step
+    let mut step = |name: &'static str, f: &dyn Fn()| {
         let t = Instant::now();
         f();
-        eprintln!("[run_all] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+        let seconds = t.elapsed().as_secs_f64();
+        let simulated_accesses = take_simulated_accesses();
+        if simulated_accesses > 0 {
+            eprintln!(
+                "[run_all] {name} done in {seconds:.1}s ({:.0} accesses/sec)",
+                simulated_accesses as f64 / seconds.max(1e-9)
+            );
+        } else {
+            eprintln!("[run_all] {name} done in {seconds:.1}s");
+        }
+        stats.push(StepStats { id: name, seconds, simulated_accesses });
     };
     use nucache_experiments::{figs, tables};
     step("table1", &tables::table1);
@@ -31,5 +102,19 @@ fn main() {
     step("fig10", &figs::fig10);
     step("fig11", &figs::fig11);
     step("fig12", &figs::fig12);
-    eprintln!("[run_all] total {:.1}s", t0.elapsed().as_secs_f64());
+    let total = t0.elapsed().as_secs_f64();
+    eprintln!("[run_all] total {total:.1}s");
+    write_bench_summary(jobs, total, &stats);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try --help");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -16,7 +16,7 @@ use nucache_cache::CacheGeometry;
 use nucache_common::table::{f2, f3, Table};
 use nucache_core::NuCacheConfig;
 use nucache_sim::args::Args;
-use nucache_sim::{run_mix, Evaluator, Scheme, SimConfig};
+use nucache_sim::{run_mix, Runner, Scheme, SimConfig};
 use nucache_trace::{Mix, SpecWorkload};
 use std::process::ExitCode;
 
@@ -25,7 +25,7 @@ fn run() -> Result<(), String> {
     if args.flag("help") {
         println!(
             "options: --cores N --scheme NAME --workloads a,b,... --llc-mb N \
-             --warmup N --measure N --seed N --deli-ways N --epoch N --normalize --help"
+             --warmup N --measure N --seed N --deli-ways N --epoch N --normalize --jobs N --help"
         );
         return Ok(());
     }
@@ -42,7 +42,11 @@ fn run() -> Result<(), String> {
     let epoch: u64 = args.get_num("epoch", 100_000).map_err(|e| e.to_string())?;
     let workloads_arg = args.get_or("workloads", "").to_string();
     let normalize = args.flag("normalize");
+    let jobs: usize = args.get_num("jobs", 0).map_err(|e| e.to_string())?;
     args.reject_unknown().map_err(|e| e.to_string())?;
+    if jobs >= 1 {
+        nucache_sim::set_default_jobs(jobs);
+    }
 
     let workloads: Vec<SpecWorkload> = if workloads_arg.is_empty() {
         SpecWorkload::ALL.iter().copied().cycle().take(cores).collect()
@@ -67,9 +71,9 @@ fn run() -> Result<(), String> {
         "tadip" => Scheme::Tadip,
         "ucp" => Scheme::Ucp,
         "pipp" => Scheme::Pipp,
-        "nucache" => Scheme::NuCache(
-            NuCacheConfig::default().with_deli_ways(deli).with_epoch_len(epoch),
-        ),
+        "nucache" => {
+            Scheme::NuCache(NuCacheConfig::default().with_deli_ways(deli).with_epoch_len(epoch))
+        }
         other => return Err(format!("unknown scheme '{other}'")),
     };
 
@@ -82,8 +86,11 @@ fn run() -> Result<(), String> {
     println!("scheme={scheme} cores={cores} llc={llc_mb}MB warmup={warmup} measure={measure}\n");
     let mut t = Table::new(["core", "workload", "ipc", "llc_mpki", "llc_hit_rate"]);
     if normalize {
-        let mut eval = Evaluator::new(config);
-        let (result, metrics) = eval.evaluate(&mix, &scheme);
+        // The runner computes the mix run and the per-workload solo
+        // baselines concurrently.
+        let runner = Runner::new(config);
+        let grid = runner.evaluate_grid(std::slice::from_ref(&mix), std::slice::from_ref(&scheme));
+        let (result, metrics) = &grid[0][0];
         for (i, c) in result.per_core.iter().enumerate() {
             t.row([
                 i.to_string(),

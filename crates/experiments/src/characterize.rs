@@ -20,8 +20,7 @@ use nucache_trace::{SpecWorkload, TraceGen};
 /// of Fig. 2 are as dense as possible; selection runs with the default
 /// cost-benefit strategy so Fig. 1/2 reflect steady-state behaviour.
 pub fn characterize(workload: SpecWorkload, accesses: u64, config: &SimConfig) -> NuCache {
-    let mut nucache_config = NuCacheConfig::default();
-    nucache_config.monitor_shift = 0;
+    let nucache_config = NuCacheConfig { monitor_shift: 0, ..NuCacheConfig::default() };
     let mut llc = NuCache::new(config.llc, 1, nucache_config);
     let core = CoreId::new(0);
     let mut hierarchy = PrivateHierarchy::new(core, config.l1, config.l2);

@@ -1,11 +1,18 @@
 //! Figure generators (characterization, headline results, sensitivity).
+//!
+//! Every multi-run figure fans its simulations out through
+//! [`nucache_sim::runner`]: jobs are enumerated up front, dispatched over
+//! the worker pool, and the tables are then assembled serially from the
+//! ordered results — so the emitted CSVs are identical at any `--jobs`
+//! value.
 
 use crate::characterize::characterize;
 use crate::{emit, geomean, run_lengths};
+use nucache_cache::CacheGeometry;
 use nucache_common::table::{f2, f3, Table};
 use nucache_core::{NuCacheConfig, SelectionStrategy};
-use nucache_cache::CacheGeometry;
-use nucache_sim::{Evaluator, Scheme, SimConfig};
+use nucache_sim::runner::{default_jobs, parallel_map, Runner};
+use nucache_sim::{Scheme, SimConfig};
 use nucache_trace::{Mix, SpecWorkload};
 
 fn base_config(cores: usize) -> SimConfig {
@@ -17,8 +24,9 @@ fn base_config(cores: usize) -> SimConfig {
 pub fn fig1() {
     let config = base_config(1);
     let mut t = Table::new(["workload", "pcs_tracked", "top1", "top2", "top4", "top8", "top16"]);
-    for w in SpecWorkload::ALL {
-        let llc = characterize(w, 400_000, &config);
+    let llcs =
+        parallel_map(default_jobs(), &SpecWorkload::ALL, |&w| characterize(w, 400_000, &config));
+    for (w, llc) in SpecWorkload::ALL.iter().zip(&llcs) {
         let tr = llc.tracker();
         t.row([
             w.name().to_string(),
@@ -36,21 +44,20 @@ pub fn fig1() {
 /// Fig. 2: Next-Use distance distributions of the top delinquent PCs.
 pub fn fig2() {
     let config = base_config(1);
-    let mut t = Table::new(["workload", "pc_rank", "samples", "p25", "p50", "p75", "p90"]);
-    for w in [
+    let workloads = [
         SpecWorkload::SphinxLike,
         SpecWorkload::McfLike,
         SpecWorkload::SoplexLike,
         SpecWorkload::AstarLike,
         SpecWorkload::OmnetppLike,
         SpecWorkload::LibquantumLike,
-    ] {
-        let llc = characterize(w, 400_000, &config);
+    ];
+    let mut t = Table::new(["workload", "pc_rank", "samples", "p25", "p50", "p75", "p90"]);
+    let llcs = parallel_map(default_jobs(), &workloads, |&w| characterize(w, 400_000, &config));
+    for (w, llc) in workloads.iter().zip(&llcs) {
         for (rank, (pc, _)) in llc.tracker().top_k(3).into_iter().enumerate() {
             if let Some(h) = llc.monitor().histogram(pc) {
-                let q = |p: f64| {
-                    h.quantile(p).map_or("inf".to_string(), |v| v.to_string())
-                };
+                let q = |p: f64| h.quantile(p).map_or("inf".to_string(), |v| v.to_string());
                 t.row([
                     w.name().to_string(),
                     (rank + 1).to_string(),
@@ -78,13 +85,20 @@ pub fn fig2() {
 
 /// Fig. 3: single-core NUcache speedup over LRU.
 pub fn fig3() {
-    let config = base_config(1);
-    let mut t = Table::new(["workload", "lru_ipc", "nucache_ipc", "speedup", "lru_mpki", "nucache_mpki"]);
+    let runner = Runner::new(base_config(1));
+    let mut t =
+        Table::new(["workload", "lru_ipc", "nucache_ipc", "speedup", "lru_mpki", "nucache_mpki"]);
+    let jobs: Vec<(Mix, Scheme)> = SpecWorkload::ALL
+        .iter()
+        .flat_map(|&w| {
+            let mix = Mix::new(format!("solo_{}", w.name()), vec![w]);
+            [(mix.clone(), Scheme::Lru), (mix, Scheme::nucache_default())]
+        })
+        .collect();
+    let results = runner.run_jobs(&jobs);
     let mut speedups = Vec::new();
-    for w in SpecWorkload::ALL {
-        let mix = Mix::new(format!("solo_{}", w.name()), vec![w]);
-        let lru = nucache_sim::run_mix(&config, &mix, &Scheme::Lru);
-        let nuc = nucache_sim::run_mix(&config, &mix, &Scheme::nucache_default());
+    for (w, pair) in SpecWorkload::ALL.iter().zip(results.chunks(2)) {
+        let (lru, nuc) = (&pair[0], &pair[1]);
         let s = nuc.per_core[0].ipc / lru.per_core[0].ipc;
         speedups.push(s);
         t.row([
@@ -96,7 +110,14 @@ pub fn fig3() {
             f2(nuc.per_core[0].llc_mpki),
         ]);
     }
-    t.row(["geomean".to_string(), "-".into(), "-".into(), f3(geomean(&speedups)), "-".into(), "-".into()]);
+    t.row([
+        "geomean".to_string(),
+        "-".into(),
+        "-".into(),
+        f3(geomean(&speedups)),
+        "-".into(),
+        "-".into(),
+    ]);
     emit("fig3_single_core", "Single-core NUcache speedup over LRU", &t);
 }
 
@@ -104,8 +125,9 @@ pub fn fig3() {
 /// schemes; reports per-mix weighted speedup normalized to LRU, plus
 /// ANTT. Returns (scheme names, per-scheme geomean normalized WS).
 fn headline(id: &str, title: &str, cores: usize, mixes: &[Mix]) -> Vec<(String, f64)> {
-    let mut eval = Evaluator::new(base_config(cores));
+    let runner = Runner::new(base_config(cores));
     let schemes = Scheme::headline_suite();
+    let grid = runner.evaluate_grid(mixes, &schemes);
     let mut header: Vec<String> = vec!["mix".into()];
     for s in &schemes {
         header.push(format!("{}_ws", s.name()));
@@ -120,14 +142,12 @@ fn headline(id: &str, title: &str, cores: usize, mixes: &[Mix]) -> Vec<(String, 
         h.extend(schemes.iter().map(|s| format!("{}_antt", s.name())));
         h
     });
-    for mix in mixes {
+    for (mix, row_results) in mixes.iter().zip(&grid) {
         let mut row = vec![mix.name().to_string()];
         let mut antt_row = vec![mix.name().to_string()];
-        let mut ws = Vec::new();
-        for s in &schemes {
-            let (_, m) = eval.evaluate(mix, s);
-            ws.push(m.weighted_speedup);
-            row.push(f3(m.weighted_speedup));
+        let ws: Vec<f64> = row_results.iter().map(|(_, m)| m.weighted_speedup).collect();
+        for (w, (_, m)) in ws.iter().zip(row_results) {
+            row.push(f3(*w));
             antt_row.push(f3(m.antt));
         }
         let lru_ws = ws[0];
@@ -155,38 +175,60 @@ fn headline(id: &str, title: &str, cores: usize, mixes: &[Mix]) -> Vec<(String, 
 
 /// Fig. 5: dual-core headline (abstract: ≈9.6% over baseline).
 pub fn fig5() -> Vec<(String, f64)> {
-    headline("fig5_dual_core", "2-core weighted speedup (normalized to LRU)", 2, &Mix::dual_core_suite())
+    headline(
+        "fig5_dual_core",
+        "2-core weighted speedup (normalized to LRU)",
+        2,
+        &Mix::dual_core_suite(),
+    )
 }
 
 /// Fig. 6: quad-core headline (abstract: ≈30%).
 pub fn fig6() -> Vec<(String, f64)> {
-    headline("fig6_quad_core", "4-core weighted speedup (normalized to LRU)", 4, &Mix::quad_core_suite())
+    headline(
+        "fig6_quad_core",
+        "4-core weighted speedup (normalized to LRU)",
+        4,
+        &Mix::quad_core_suite(),
+    )
 }
 
 /// Fig. 7: eight-core headline (abstract: ≈33%).
 pub fn fig7() -> Vec<(String, f64)> {
-    headline("fig7_eight_core", "8-core weighted speedup (normalized to LRU)", 8, &Mix::eight_core_suite())
+    headline(
+        "fig7_eight_core",
+        "8-core weighted speedup (normalized to LRU)",
+        8,
+        &Mix::eight_core_suite(),
+    )
 }
 
 /// Fig. 4: sensitivity to the number of DeliWays (4-core subset).
 pub fn fig4() {
     let mixes = &Mix::quad_core_suite()[..3];
-    let mut eval = Evaluator::new(base_config(4));
+    let runner = Runner::new(base_config(4));
     let deli_counts = [0usize, 2, 4, 6, 8, 10, 12];
+    // 0 DeliWays is exactly the 16-way LRU baseline; it doubles as the
+    // normalization reference for the other columns.
+    let schemes: Vec<Scheme> = deli_counts
+        .iter()
+        .map(|&d| {
+            if d == 0 {
+                Scheme::Lru
+            } else {
+                Scheme::NuCache(NuCacheConfig::default().with_deli_ways(d))
+            }
+        })
+        .collect();
+    let grid = runner.evaluate_grid(mixes, &schemes);
     let mut header: Vec<String> = vec!["mix".into()];
     header.extend(deli_counts.iter().map(|d| format!("d{d}_norm_ws")));
     let mut t = Table::new(header);
-    for mix in mixes {
-        let (_, lru) = eval.evaluate(mix, &Scheme::Lru);
+    for (mix, row_results) in mixes.iter().zip(&grid) {
+        let lru_ws = row_results[0].1.weighted_speedup;
         let mut row = vec![mix.name().to_string()];
-        for &d in &deli_counts {
-            let scheme = if d == 0 {
-                Scheme::Lru // 0 DeliWays is exactly the 16-way LRU baseline
-            } else {
-                Scheme::NuCache(NuCacheConfig::default().with_deli_ways(d))
-            };
-            let (_, m) = eval.evaluate(mix, &scheme);
-            row.push(f3(m.weighted_speedup / lru.weighted_speedup));
+        for (_, m) in row_results {
+            row.push(f3(m.weighted_speedup / lru_ws));
         }
         t.row(row);
     }
@@ -196,23 +238,23 @@ pub fn fig4() {
 /// Fig. 8: ANTT summary across core counts (NUcache vs LRU vs UCP).
 pub fn fig8() {
     let mut t = Table::new(["cores", "mix", "lru_antt", "ucp_antt", "nucache_antt"]);
+    let schemes = [Scheme::Lru, Scheme::Ucp, Scheme::nucache_default()];
     for (cores, mixes) in [
         (2usize, Mix::dual_core_suite()),
         (4, Mix::quad_core_suite()),
         (8, Mix::eight_core_suite()),
     ] {
-        let mut eval = Evaluator::new(base_config(cores));
+        let runner = Runner::new(base_config(cores));
         // A representative subset per core count keeps runtime sane.
-        for mix in mixes.iter().take(4) {
-            let (_, lru) = eval.evaluate(mix, &Scheme::Lru);
-            let (_, ucp) = eval.evaluate(mix, &Scheme::Ucp);
-            let (_, nuc) = eval.evaluate(mix, &Scheme::nucache_default());
+        let subset: Vec<Mix> = mixes.iter().take(4).cloned().collect();
+        let grid = runner.evaluate_grid(&subset, &schemes);
+        for (mix, row_results) in subset.iter().zip(&grid) {
             t.row([
                 cores.to_string(),
                 mix.name().to_string(),
-                f3(lru.antt),
-                f3(ucp.antt),
-                f3(nuc.antt),
+                f3(row_results[0].1.antt),
+                f3(row_results[1].1.antt),
+                f3(row_results[2].1.antt),
             ]);
         }
     }
@@ -223,6 +265,7 @@ pub fn fig8() {
 pub fn fig9() {
     let mixes = &Mix::quad_core_suite()[..3];
     let sizes_mb = [2u64, 4, 8, 16];
+    let schemes = [Scheme::Lru, Scheme::nucache_default()];
     let mut header: Vec<String> = vec!["mix".into()];
     for mb in sizes_mb {
         header.push(format!("{mb}mb_lru_ws"));
@@ -232,12 +275,14 @@ pub fn fig9() {
     let mut rows: Vec<Vec<String>> = mixes.iter().map(|m| vec![m.name().to_string()]).collect();
     for mb in sizes_mb {
         let config = base_config(4).with_llc(CacheGeometry::new(mb * 1024 * 1024, 16, 64));
-        let mut eval = Evaluator::new(config);
-        for (i, mix) in mixes.iter().enumerate() {
-            let (_, lru) = eval.evaluate(mix, &Scheme::Lru);
-            let (_, nuc) = eval.evaluate(mix, &Scheme::nucache_default());
-            rows[i].push(f3(lru.weighted_speedup));
-            rows[i].push(f3(nuc.weighted_speedup / lru.weighted_speedup));
+        // Solo IPC depends on the LLC geometry, so each capacity gets its
+        // own runner (and thus its own solo cache).
+        let runner = Runner::new(config);
+        let grid = runner.evaluate_grid(mixes, &schemes);
+        for (i, row_results) in grid.iter().enumerate() {
+            let lru_ws = row_results[0].1.weighted_speedup;
+            rows[i].push(f3(lru_ws));
+            rows[i].push(f3(row_results[1].1.weighted_speedup / lru_ws));
         }
     }
     for row in rows {
@@ -250,17 +295,22 @@ pub fn fig9() {
 pub fn fig10() {
     let mixes = &Mix::quad_core_suite()[..3];
     let epochs = [25_000u64, 50_000, 100_000, 200_000, 400_000];
-    let mut eval = Evaluator::new(base_config(4));
+    let runner = Runner::new(base_config(4));
+    // Column 0 (LRU) is the normalization reference; the table reports
+    // only the epoch columns.
+    let mut schemes = vec![Scheme::Lru];
+    schemes.extend(
+        epochs.iter().map(|&e| Scheme::NuCache(NuCacheConfig::default().with_epoch_len(e))),
+    );
+    let grid = runner.evaluate_grid(mixes, &schemes);
     let mut header: Vec<String> = vec!["mix".into()];
     header.extend(epochs.iter().map(|e| format!("epoch_{}k", e / 1000)));
     let mut t = Table::new(header);
-    for mix in mixes {
-        let (_, lru) = eval.evaluate(mix, &Scheme::Lru);
+    for (mix, row_results) in mixes.iter().zip(&grid) {
+        let lru_ws = row_results[0].1.weighted_speedup;
         let mut row = vec![mix.name().to_string()];
-        for &e in &epochs {
-            let scheme = Scheme::NuCache(NuCacheConfig::default().with_epoch_len(e));
-            let (_, m) = eval.evaluate(mix, &scheme);
-            row.push(f3(m.weighted_speedup / lru.weighted_speedup));
+        for (_, m) in &row_results[1..] {
+            row.push(f3(m.weighted_speedup / lru_ws));
         }
         t.row(row);
     }
@@ -288,29 +338,34 @@ pub fn fig12() {
         "opt_hit",
         "nucache_gap_closed",
     ]);
-    for w in SpecWorkload::ALL {
+    let rows = parallel_map(default_jobs(), &SpecWorkload::ALL, |&w| {
         // Capture the LLC-filtered (pc, line) stream.
         let core = CoreId::new(0);
         let mut hierarchy = PrivateHierarchy::new(core, config.l1, config.l2);
         let mut llc_trace: Vec<(PcT, LineAddr)> = Vec::new();
         for a in TraceGen::new(&w.spec(), core, config.seed).take(accesses) {
-            if let PrivateOutcome::LlcAccess { .. } =
-                hierarchy.access(a.pc, a.addr.line(6), a.kind)
+            if let PrivateOutcome::LlcAccess { .. } = hierarchy.access(a.pc, a.addr.line(6), a.kind)
             {
                 llc_trace.push((a.pc, a.addr.line(6)));
             }
         }
         if llc_trace.is_empty() {
-            t.row([w.name().to_string(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
-            continue;
+            return [
+                w.name().to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ];
         }
         let lines: Vec<LineAddr> = llc_trace.iter().map(|&(_, l)| l).collect();
         let opt = optimal_misses(&config.llc, &lines);
 
         let mut lru = BasicCache::new(config.llc, Lru::new(&config.llc));
         let mut ship = BasicCache::new(config.llc, ShipPc::new(&config.llc));
-        let mut nucache =
-            nucache_core::NuCache::new(config.llc, 1, NuCacheConfig::default());
+        let mut nucache = nucache_core::NuCache::new(config.llc, 1, NuCacheConfig::default());
         for &(pc, line) in &llc_trace {
             lru.access(line, AccessKind::Read, core, pc);
             ship.access(line, AccessKind::Read, core, pc);
@@ -321,7 +376,7 @@ pub fn fig12() {
         let nuc_hr = nucache.stats().hit_rate();
         let gap = opt_hr - lru_hr;
         let closed = if gap > 1e-6 { (nuc_hr - lru_hr) / gap } else { 0.0 };
-        t.row([
+        [
             w.name().to_string(),
             llc_trace.len().to_string(),
             f3(lru_hr),
@@ -329,7 +384,10 @@ pub fn fig12() {
             f3(nuc_hr),
             f3(opt_hr),
             f2(closed),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     emit("fig12_opt_headroom", "Belady-OPT headroom closed by PC-aware schemes (solo)", &t);
 }
@@ -344,17 +402,21 @@ pub fn fig11() {
         ("random-8", SelectionStrategy::Random(8)),
         ("none", SelectionStrategy::None),
     ];
-    let mut eval = Evaluator::new(base_config(4));
+    let runner = Runner::new(base_config(4));
+    // Column 0 (LRU) is the normalization reference.
+    let mut schemes = vec![Scheme::Lru];
+    schemes.extend(
+        strategies.iter().map(|(_, s)| Scheme::NuCache(NuCacheConfig::default().with_strategy(*s))),
+    );
+    let grid = runner.evaluate_grid(mixes, &schemes);
     let mut header: Vec<String> = vec!["mix".into()];
     header.extend(strategies.iter().map(|(n, _)| n.to_string()));
     let mut t = Table::new(header);
-    for mix in mixes {
-        let (_, lru) = eval.evaluate(mix, &Scheme::Lru);
+    for (mix, row_results) in mixes.iter().zip(&grid) {
+        let lru_ws = row_results[0].1.weighted_speedup;
         let mut row = vec![mix.name().to_string()];
-        for (_, strat) in &strategies {
-            let scheme = Scheme::NuCache(NuCacheConfig::default().with_strategy(*strat));
-            let (_, m) = eval.evaluate(mix, &scheme);
-            row.push(f3(m.weighted_speedup / lru.weighted_speedup));
+        for (_, m) in &row_results[1..] {
+            row.push(f3(m.weighted_speedup / lru_ws));
         }
         t.row(row);
     }

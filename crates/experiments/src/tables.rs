@@ -2,11 +2,12 @@
 
 use crate::{emit, run_lengths};
 use nucache_common::table::{f2, f3, Table};
+use nucache_common::CoreId;
 use nucache_core::overhead::{nucache_overhead, pipp_overhead, tadip_overhead, ucp_overhead};
 use nucache_core::NuCacheConfig;
+use nucache_sim::runner::{default_jobs, parallel_map};
 use nucache_sim::{run_solo, SimConfig};
 use nucache_trace::{Mix, SpecWorkload, TraceGen, TraceSummary};
-use nucache_common::CoreId;
 
 /// Table 1: the simulated system configuration.
 pub fn table1() {
@@ -48,11 +49,13 @@ pub fn table2() {
         "solo_llc_mpki",
         "top4_pc_cov",
     ]);
-    for w in SpecWorkload::ALL {
+    let rows = parallel_map(default_jobs(), &SpecWorkload::ALL, |&w| {
         let summary = TraceSummary::from_accesses(
             TraceGen::new(&w.spec(), CoreId::new(0), config.seed).take(200_000),
         );
-        let solo = run_solo(&config, w);
+        (summary, run_solo(&config, w))
+    });
+    for (w, (summary, solo)) in SpecWorkload::ALL.iter().zip(&rows) {
         t.row([
             w.name().to_string(),
             w.class().to_string(),
@@ -82,7 +85,15 @@ pub fn table3() {
 
 /// Table 4: hardware storage overhead per scheme.
 pub fn table4() {
-    let mut t = Table::new(["cores", "scheme", "per_line_kb", "monitor_kb", "control_kb", "total_kb", "pct_of_llc"]);
+    let mut t = Table::new([
+        "cores",
+        "scheme",
+        "per_line_kb",
+        "monitor_kb",
+        "control_kb",
+        "total_kb",
+        "pct_of_llc",
+    ]);
     for cores in [2usize, 4, 8] {
         let geom = SimConfig::baseline(cores).llc;
         let rows = [

@@ -49,8 +49,6 @@ mod tests {
     fn baselines_are_functional() {
         let mut l = lru(geom(), 2);
         l.access(CoreId::new(0), Pc::new(1), LineAddr::new(9), AccessKind::Read);
-        assert!(l
-            .access(CoreId::new(0), Pc::new(1), LineAddr::new(9), AccessKind::Read)
-            .is_hit());
+        assert!(l.access(CoreId::new(0), Pc::new(1), LineAddr::new(9), AccessKind::Read).is_hit());
     }
 }

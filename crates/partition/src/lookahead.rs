@@ -41,7 +41,7 @@ pub fn lookahead_partition(curves: &[Vec<u64>], total_ways: usize, min_ways: usi
     assert!(min_ways * cores <= total_ways, "min_ways over-commits the cache");
     for (c, curve) in curves.iter().enumerate() {
         assert!(
-            curve.len() >= total_ways + 1,
+            curve.len() > total_ways,
             "curve for core {c} too short: {} < {}",
             curve.len(),
             total_ways + 1
@@ -69,7 +69,8 @@ pub fn lookahead_partition(curves: &[Vec<u64>], total_ways: usize, min_ways: usi
                 let better = match best {
                     None => true,
                     Some((bmu, bc, _)) => {
-                        mu > bmu * (1.0 + 1e-9) || ((mu - bmu).abs() <= bmu * 1e-9 && alloc[c] < alloc[bc])
+                        mu > bmu * (1.0 + 1e-9)
+                            || ((mu - bmu).abs() <= bmu * 1e-9 && alloc[c] < alloc[bc])
                     }
                 };
                 if better {

@@ -70,7 +70,9 @@ impl PippLlc {
         PippLlc {
             array: SetArray::new(geom),
             stacks: vec![Vec::with_capacity(geom.associativity()); geom.num_sets()],
-            monitors: (0..num_cores).map(|_| UtilityMonitor::new(&geom, 5.min(geom.set_bits()))).collect(),
+            monitors: (0..num_cores)
+                .map(|_| UtilityMonitor::new(&geom, 5.min(geom.set_bits())))
+                .collect(),
             alloc,
             streaming: vec![false; num_cores],
             epoch_len,
@@ -156,7 +158,8 @@ impl SharedLlc for PippLlc {
         let (way, evicted) = match self.array.invalid_way(set) {
             Some(w) => (w, self.array.fill(set, w, LineMeta::new(tag, core, pc, kind.is_write()))),
             None => {
-                let victim_way = *self.stacks[set].last().expect("full set has full stack") as usize;
+                let victim_way =
+                    *self.stacks[set].last().expect("full set has full stack") as usize;
                 self.stacks[set].pop();
                 let ev =
                     self.array.fill(set, victim_way, LineMeta::new(tag, core, pc, kind.is_write()));
@@ -234,11 +237,9 @@ mod tests {
     fn streaming_core_classified_and_demoted() {
         let mut llc = PippLlc::new(geom(), 2, 5_000, 2);
         // Core 0 reuses, core 1 streams.
-        let mut sline = 1 << 20;
         for round in 0..30_000u64 {
-            read(&mut llc, 0, (round % 128) * 1); // loop over 128 lines (2/set)
-            read(&mut llc, 1, sline);
-            sline += 1;
+            read(&mut llc, 0, round % 128); // loop over 128 lines (2/set)
+            read(&mut llc, 1, (1 << 20) + round); // fresh line every round
             if llc.repartitions() >= 2 {
                 break;
             }

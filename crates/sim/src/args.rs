@@ -70,13 +70,17 @@ impl Args {
     /// # Errors
     ///
     /// Returns an error if the value is present but unparsable.
-    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseArgsError> {
+    pub fn get_num<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
         self.consumed.borrow_mut().push(key.to_string());
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ParseArgsError(format!("--{key}: cannot parse '{v}'"))),
+            Some(v) => {
+                v.parse().map_err(|_| ParseArgsError(format!("--{key}: cannot parse '{v}'")))
+            }
         }
     }
 

@@ -108,10 +108,7 @@ impl SimConfig {
     /// than one core's L2.
     pub fn validate(&self) {
         self.timing.validate();
-        assert!(
-            self.llc.size_bytes() >= self.l2.size_bytes(),
-            "LLC smaller than a private L2"
-        );
+        assert!(self.llc.size_bytes() >= self.l2.size_bytes(), "LLC smaller than a private L2");
         assert!(self.num_cores > 0, "need at least one core");
     }
 }

@@ -21,6 +21,17 @@ use nucache_cpu::{CoreClock, ServiceLevel};
 use nucache_trace::{Mix, SpecWorkload, TraceGen};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of core accesses issued by simulation stages, for
+/// throughput reporting (accesses/sec) by experiment drivers.
+static SIMULATED_ACCESSES: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the number of per-core accesses simulated since the last call
+/// (all stages, all threads) and resets the counter.
+pub fn take_simulated_accesses() -> u64 {
+    SIMULATED_ACCESSES.swap(0, Ordering::Relaxed)
+}
 
 /// Per-core results of a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +122,7 @@ pub fn run_mix_on(config: &SimConfig, mix: &Mix, llc: &mut dyn SharedLlc) -> Sim
 
     // Warm-up stage.
     run_until(config, &mut cores, llc, config.warmup_accesses, false);
+    let warmup_issued: u64 = cores.iter().map(|c| c.accesses).sum();
     llc.reset_stats();
     for c in &mut cores {
         c.hierarchy.reset_stats();
@@ -120,6 +132,8 @@ pub fn run_mix_on(config: &SimConfig, mix: &Mix, llc: &mut dyn SharedLlc) -> Sim
 
     // Measurement stage.
     run_until(config, &mut cores, llc, config.measure_accesses, true);
+    let measured_issued: u64 = cores.iter().map(|c| c.accesses).sum();
+    SIMULATED_ACCESSES.fetch_add(warmup_issued + measured_issued, Ordering::Relaxed);
 
     let per_core: Vec<CoreResult> = cores
         .iter()

@@ -43,11 +43,19 @@ impl Evaluator {
 
     /// Solo result for `workload`, computed on first use and cached.
     pub fn solo(&mut self, workload: SpecWorkload) -> &CoreResult {
-        if !self.solo_cache.contains_key(&workload) {
-            let result = run_solo(&self.config, workload);
-            self.solo_cache.insert(workload, result);
-        }
-        &self.solo_cache[&workload]
+        let config = self.config;
+        self.solo_cache.entry(workload).or_insert_with(|| run_solo(&config, workload))
+    }
+
+    /// Read-only view of the cached solo results.
+    pub fn solo_snapshot(&self) -> &HashMap<SpecWorkload, CoreResult> {
+        &self.solo_cache
+    }
+
+    /// Seeds the solo cache with an externally computed result (the
+    /// parallel runner primes evaluators this way).
+    pub fn prime_solo(&mut self, workload: SpecWorkload, result: CoreResult) {
+        self.solo_cache.insert(workload, result);
     }
 
     /// Solo IPC vector for a mix.

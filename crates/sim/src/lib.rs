@@ -34,9 +34,13 @@ pub mod args;
 pub mod config;
 pub mod driver;
 pub mod evaluator;
+pub mod runner;
 pub mod scheme;
 
 pub use config::SimConfig;
-pub use driver::{run_mix, run_mix_nucache, run_mix_on, run_solo, CoreResult, SimResult};
+pub use driver::{
+    run_mix, run_mix_nucache, run_mix_on, run_solo, take_simulated_accesses, CoreResult, SimResult,
+};
 pub use evaluator::Evaluator;
+pub use runner::{default_jobs, parallel_map, set_default_jobs, Runner};
 pub use scheme::Scheme;

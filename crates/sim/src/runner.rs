@@ -1,0 +1,307 @@
+//! Parallel experiment runner: fans (mix, scheme) jobs out over worker
+//! threads while keeping results in deterministic submission order.
+//!
+//! Every simulation job is a pure function of its inputs — `run_mix` and
+//! `run_solo` share no mutable state — so running jobs concurrently
+//! cannot change any individual result. The runner exploits that:
+//!
+//! * [`parallel_map`] is the scheduling primitive — scoped worker threads
+//!   pull items off a shared atomic cursor and write results into
+//!   per-slot cells, so the output `Vec` is always in input order no
+//!   matter which worker finished when;
+//! * [`Runner`] layers a thread-safe memoized solo-run cache on top, so
+//!   normalization references are computed once per workload even when
+//!   many jobs need them at the same time;
+//! * worker count comes from `--jobs N` / `NUCACHE_JOBS`, defaulting to
+//!   the machine's available parallelism.
+//!
+//! # Examples
+//!
+//! ```
+//! use nucache_sim::runner::Runner;
+//! use nucache_sim::{Scheme, SimConfig};
+//! use nucache_trace::{Mix, SpecWorkload};
+//!
+//! let runner = Runner::new(SimConfig::demo()).with_jobs(2);
+//! let mixes = [Mix::new("m", vec![SpecWorkload::HmmerLike, SpecWorkload::GobmkLike])];
+//! let schemes = [Scheme::Lru, Scheme::nucache_default()];
+//! let grid = runner.evaluate_grid(&mixes, &schemes);
+//! assert_eq!(grid.len(), 1);
+//! assert_eq!(grid[0].len(), 2);
+//! assert!(grid[0][0].1.weighted_speedup > 0.0);
+//! ```
+
+use crate::config::SimConfig;
+use crate::driver::{run_mix, run_solo, CoreResult, SimResult};
+use crate::scheme::Scheme;
+use nucache_cpu::MultiProgramMetrics;
+use nucache_trace::{Mix, SpecWorkload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide worker-count override installed by `--jobs` flags
+/// (0 = no override).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide worker-count override taking precedence over
+/// `NUCACHE_JOBS`; passing 0 clears it.
+pub fn set_default_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// Worker count for new runners: the [`set_default_jobs`] override when
+/// installed, else `NUCACHE_JOBS` when set to a positive integer, else
+/// the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit >= 1 {
+        return explicit;
+    }
+    std::env::var("NUCACHE_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// results in input order.
+///
+/// Items are claimed through a shared atomic cursor (cheap work
+/// stealing: a worker stuck on a slow simulation doesn't hold up the
+/// queue) and each result lands in its item's dedicated slot, so output
+/// order never depends on scheduling. With `jobs <= 1` or a single item
+/// the map runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker once all workers have stopped.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = jobs.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Thread-safe memoized solo-run cache.
+///
+/// Each workload maps to an [`OnceLock`] cell: the first thread to need a
+/// solo result computes it, any thread arriving meanwhile blocks on the
+/// cell instead of duplicating the (expensive) run.
+#[derive(Debug, Default)]
+struct SoloCache {
+    cells: Mutex<HashMap<SpecWorkload, Arc<OnceLock<CoreResult>>>>,
+}
+
+impl SoloCache {
+    fn get(&self, config: &SimConfig, workload: SpecWorkload) -> CoreResult {
+        let cell = {
+            let mut map = self.cells.lock().expect("solo cache poisoned");
+            Arc::clone(map.entry(workload).or_default())
+        };
+        cell.get_or_init(|| run_solo(config, workload)).clone()
+    }
+
+    fn snapshot(&self) -> HashMap<SpecWorkload, CoreResult> {
+        let map = self.cells.lock().expect("solo cache poisoned");
+        map.iter().filter_map(|(&w, cell)| cell.get().map(|r| (w, r.clone()))).collect()
+    }
+}
+
+/// Fans simulation jobs out over worker threads for one system
+/// configuration, memoizing the solo runs that normalization needs.
+///
+/// Results are bit-identical at any worker count: jobs are pure, the
+/// output order is fixed by submission order, and the solo cache only
+/// changes *who* computes a result, never its value.
+#[derive(Debug)]
+pub struct Runner {
+    config: SimConfig,
+    jobs: usize,
+    solo_cache: SoloCache,
+}
+
+impl Runner {
+    /// Creates a runner for `config` with [`default_jobs`] workers.
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Runner { config, jobs: default_jobs(), solo_cache: SoloCache::default() }
+    }
+
+    /// Overrides the worker count (`0` is treated as `1`).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The worker count in use.
+    pub const fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The system configuration in use.
+    pub const fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Solo result for `workload`, computed on first use and cached.
+    pub fn solo(&self, workload: SpecWorkload) -> CoreResult {
+        self.solo_cache.get(&self.config, workload)
+    }
+
+    /// Solo IPC vector for a mix.
+    pub fn solo_ipcs(&self, mix: &Mix) -> Vec<f64> {
+        mix.workloads().iter().map(|&w| self.solo(w).ipc).collect()
+    }
+
+    /// Simulates every (mix, scheme) job, fanning out over the worker
+    /// pool; results are in job order.
+    pub fn run_jobs(&self, jobs: &[(Mix, Scheme)]) -> Vec<SimResult> {
+        parallel_map(self.jobs, jobs, |(mix, scheme)| run_mix(&self.config, mix, scheme))
+    }
+
+    /// Evaluates the full `mixes` × `schemes` grid in parallel and
+    /// returns `grid[mix_index][scheme_index]` pairs of raw result and
+    /// normalized metrics.
+    ///
+    /// Solo runs are primed first (in parallel, one per distinct
+    /// workload) so the grid jobs never serialize on the solo cache.
+    pub fn evaluate_grid(
+        &self,
+        mixes: &[Mix],
+        schemes: &[Scheme],
+    ) -> Vec<Vec<(SimResult, MultiProgramMetrics)>> {
+        self.prime_solos(mixes);
+        let jobs: Vec<(Mix, Scheme)> = mixes
+            .iter()
+            .flat_map(|m| schemes.iter().map(move |s| (m.clone(), s.clone())))
+            .collect();
+        let mut results = self.run_jobs(&jobs).into_iter();
+        mixes
+            .iter()
+            .map(|mix| {
+                let solo = self.solo_ipcs(mix);
+                schemes
+                    .iter()
+                    .map(|_| {
+                        let result = results.next().expect("one result per job");
+                        let metrics = MultiProgramMetrics::new(&result.ipcs(), &solo);
+                        (result, metrics)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Computes (and caches) the solo result of every distinct workload
+    /// in `mixes`, in parallel.
+    pub fn prime_solos(&self, mixes: &[Mix]) {
+        let mut workloads: Vec<SpecWorkload> =
+            mixes.iter().flat_map(|m| m.workloads().iter().copied()).collect();
+        workloads.sort();
+        workloads.dedup();
+        parallel_map(self.jobs, &workloads, |&w| self.solo(w));
+    }
+
+    /// An [`Evaluator`](crate::Evaluator) pre-seeded with every solo
+    /// result this runner has computed, for serial code paths that want
+    /// the classic interface.
+    pub fn primed_evaluator(&self) -> crate::Evaluator {
+        let mut eval = crate::Evaluator::new(self.config);
+        for (w, r) in self.solo_cache.snapshot() {
+            eval.prime_solo(w, r);
+        }
+        eval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(8, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_serial_fallback() {
+        let items = [1u64, 2, 3];
+        assert_eq!(parallel_map(1, &items, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map(0, &items, |&x| x + 1), vec![2, 3, 4]);
+        let empty: [u64; 0] = [];
+        assert!(parallel_map(4, &empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn solo_cache_computes_once() {
+        let runner = Runner::new(SimConfig::demo()).with_jobs(4);
+        // Hammer the same workload from many threads; OnceLock must hand
+        // everyone the same result.
+        let items = [SpecWorkload::HmmerLike; 16];
+        let results = parallel_map(4, &items, |&w| runner.solo(w));
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(runner.solo_cache.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn grid_matches_serial_evaluator() {
+        let config = SimConfig::demo();
+        let mixes = [
+            Mix::new("a", vec![SpecWorkload::HmmerLike, SpecWorkload::GobmkLike]),
+            Mix::new("b", vec![SpecWorkload::Bzip2Like, SpecWorkload::SjengLike]),
+        ];
+        let schemes = [Scheme::Lru, Scheme::nucache_default()];
+
+        let runner = Runner::new(config).with_jobs(4);
+        let grid = runner.evaluate_grid(&mixes, &schemes);
+
+        let mut eval = crate::Evaluator::new(config);
+        for (i, mix) in mixes.iter().enumerate() {
+            for (j, scheme) in schemes.iter().enumerate() {
+                let (result, metrics) = eval.evaluate(mix, scheme);
+                assert_eq!(grid[i][j].0, result, "mix {i} scheme {j}");
+                assert_eq!(
+                    grid[i][j].1.weighted_speedup, metrics.weighted_speedup,
+                    "mix {i} scheme {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn primed_evaluator_reuses_solos() {
+        let runner = Runner::new(SimConfig::demo());
+        runner.solo(SpecWorkload::HmmerLike);
+        let eval = runner.primed_evaluator();
+        assert_eq!(eval.cached_solo_runs(), 1);
+    }
+}

@@ -79,7 +79,7 @@ impl Scheme {
                 if c.deli_ways >= geom.associativity() {
                     c.deli_ways = geom.associativity() / 2;
                 }
-                c.seed = seed ^ c.seed;
+                c.seed ^= seed;
                 Box::new(NuCache::new(geom, num_cores, c))
             }
         }

@@ -79,8 +79,8 @@ impl TraceGen {
                 acc += s.weight;
                 cum.push(acc);
                 let global_idx = sites.len() as u64;
-                let base_line =
-                    CORE_SPACING_LINES * (core.index() as u64 + 1) + REGION_SPACING_LINES * (global_idx + 1);
+                let base_line = CORE_SPACING_LINES * (core.index() as u64 + 1)
+                    + REGION_SPACING_LINES * (global_idx + 1);
                 let chase_modulus = s.behavior.lines().next_power_of_two();
                 // Randomize starting positions so co-scheduled copies of
                 // the same workload do not march in lockstep.
@@ -195,11 +195,8 @@ impl Iterator for TraceGen {
         let local = global_idx - self.phase_site_base[self.phase];
         let site = phase.sites[local];
         let line = self.advance_site(global_idx, site.behavior);
-        let kind = if self.rng.chance(site.write_frac) {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
+        let kind =
+            if self.rng.chance(site.write_frac) { AccessKind::Write } else { AccessKind::Read };
         let gap = self.rng.range_inclusive(self.spec.gap.0 as u64, self.spec.gap.1 as u64) as u32;
         let pc = Self::site_pc(global_idx).globalize(self.core);
         self.phase_left -= 1;
@@ -217,11 +214,7 @@ mod tests {
     use crate::workload::{Phase, SiteSpec};
 
     fn loop_spec(lines: u64) -> WorkloadSpec {
-        WorkloadSpec::single_phase(
-            "loop",
-            vec![SiteSpec::new(Behavior::Loop { lines }, 1)],
-            (2, 4),
-        )
+        WorkloadSpec::single_phase("loop", vec![SiteSpec::new(Behavior::Loop { lines }, 1)], (2, 4))
     }
 
     #[test]
@@ -309,14 +302,8 @@ mod tests {
 
     #[test]
     fn phases_cycle() {
-        let p1 = Phase {
-            sites: vec![SiteSpec::new(Behavior::Loop { lines: 4 }, 1)],
-            accesses: 10,
-        };
-        let p2 = Phase {
-            sites: vec![SiteSpec::new(Behavior::Loop { lines: 4 }, 1)],
-            accesses: 10,
-        };
+        let p1 = Phase { sites: vec![SiteSpec::new(Behavior::Loop { lines: 4 }, 1)], accesses: 10 };
+        let p2 = Phase { sites: vec![SiteSpec::new(Behavior::Loop { lines: 4 }, 1)], accesses: 10 };
         let spec = WorkloadSpec::phased("pp", vec![p1, p2], (0, 0));
         let accesses: Vec<_> = TraceGen::new(&spec, CoreId::new(0), 1).take(40).collect();
         // Phase 1's site is global index 0, phase 2's is 1: PCs alternate
@@ -339,10 +326,7 @@ mod tests {
             (0, 0),
         );
         let pc0 = TraceGen::site_pc(0).globalize(CoreId::new(0));
-        let n0 = TraceGen::new(&spec, CoreId::new(0), 7)
-            .take(5000)
-            .filter(|a| a.pc == pc0)
-            .count();
+        let n0 = TraceGen::new(&spec, CoreId::new(0), 7).take(5000).filter(|a| a.pc == pc0).count();
         assert!((4200..4800).contains(&n0), "expected ~4500 from the 90% site, got {n0}");
     }
 }

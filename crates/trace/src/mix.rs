@@ -208,6 +208,7 @@ impl MixBuilder {
 
     /// Appends a workload on the next core.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder push, not arithmetic
     pub fn add(mut self, w: SpecWorkload) -> Self {
         self.workloads.push(w);
         self

@@ -97,9 +97,9 @@ impl SpecWorkload {
             SpecWorkload::MilcLike => "streaming+random",
             SpecWorkload::McfLike | SpecWorkload::AstarLike => "pointer-chasing",
             SpecWorkload::OmnetppLike | SpecWorkload::SjengLike => "random-dominated",
-            SpecWorkload::SphinxLike
-            | SpecWorkload::SoplexLike
-            | SpecWorkload::XalancLike => "retention-sensitive",
+            SpecWorkload::SphinxLike | SpecWorkload::SoplexLike | SpecWorkload::XalancLike => {
+                "retention-sensitive"
+            }
             SpecWorkload::GccLike | SpecWorkload::Bzip2Like => "mixed",
             SpecWorkload::HmmerLike | SpecWorkload::GobmkLike => "cache-friendly",
         }

@@ -245,7 +245,8 @@ mod tests {
 
     #[test]
     fn phased_counts_sites_across_phases() {
-        let p1 = Phase { sites: vec![SiteSpec::new(Behavior::Loop { lines: 10 }, 1)], accesses: 100 };
+        let p1 =
+            Phase { sites: vec![SiteSpec::new(Behavior::Loop { lines: 10 }, 1)], accesses: 100 };
         let p2 = Phase {
             sites: vec![
                 SiteSpec::new(Behavior::Stream { lines: 50, stride: 1 }, 1),

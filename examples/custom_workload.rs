@@ -33,8 +33,7 @@ fn main() {
 
     // Characterize the raw trace.
     let core = CoreId::new(0);
-    let summary =
-        TraceSummary::from_accesses(TraceGen::new(&spec, core, 7).take(300_000));
+    let summary = TraceSummary::from_accesses(TraceGen::new(&spec, core, 7).take(300_000));
     println!("workload: {}", spec.name);
     println!("  accesses:        {}", summary.accesses);
     println!("  footprint:       {:.1} MiB", summary.footprint_bytes() as f64 / (1 << 20) as f64);

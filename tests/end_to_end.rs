@@ -70,11 +70,8 @@ fn nucache_never_collapses_on_friendly_mixes() {
 fn nucache_internals_are_active_in_a_real_mix() {
     let config = test_config(2);
     let mix = Mix::new("internals", vec![SpecWorkload::SphinxLike, SpecWorkload::LbmLike]);
-    let (result, llc) = run_mix_nucache(
-        &config,
-        &mix,
-        nucache_repro::core::NuCacheConfig::default(),
-    );
+    let (result, llc) =
+        run_mix_nucache(&config, &mix, nucache_repro::core::NuCacheConfig::default());
     assert!(llc.epochs() > 0, "selection must have run");
     assert!(llc.deli_fills() > 0, "DeliWays must be used");
     assert!(llc.deli_hits() > 0, "DeliWays must produce hits");

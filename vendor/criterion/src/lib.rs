@@ -1,0 +1,232 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the subset of criterion the bench suite uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `throughput`/`sample_size`/`bench_function`/`finish`, [`Bencher`] with
+//! `iter`/`iter_batched_ref`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Measurement is deliberately simple: a short warmup, then repeated timed
+//! batches until the sample budget is met, reporting mean time per
+//! iteration (and elements/sec when a throughput is set). There is no
+//! statistical analysis, outlier rejection, or HTML report — the point is
+//! that `cargo bench` runs offline and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Measurement backends (wall-clock only).
+pub mod measurement {
+    /// Wall-clock time measurement — the only backend provided.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Work-per-iteration declaration used to derive rate figures.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched_ref` amortizes setup cost (accepted for API
+/// compatibility; every batch size runs setup once per iteration here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh setup on every iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { total: Duration::ZERO, iters: 0 };
+
+        // Warmup: one untimed sample so lazy init / cache warming doesn't
+        // pollute the measurement.
+        f(&mut bencher);
+        bencher.total = Duration::ZERO;
+        bencher.iters = 0;
+
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iters as f64
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("{:>12.0} elem/s", n as f64 * 1e9 / mean_ns),
+            Throughput::Bytes(n) => format!("{:>12.0} B/s", n as f64 * 1e9 / mean_ns),
+        });
+        match rate {
+            Some(r) => println!("bench {}/{:<40} {:>14.1} ns/iter {}", self.name, id, mean_ns, r),
+            None => println!("bench {}/{:<40} {:>14.1} ns/iter", self.name, id, mean_ns),
+        }
+    }
+
+    /// Ends the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+/// Iteration count per timed sample, kept small so `cargo bench` finishes
+/// quickly even for whole-simulation benches.
+const ITERS_PER_SAMPLE: u64 = 3;
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS_PER_SAMPLE {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += ITERS_PER_SAMPLE;
+    }
+
+    /// Times `routine` against state rebuilt by `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        for _ in 0..ITERS_PER_SAMPLE {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.total += start.elapsed();
+            drop(input);
+        }
+        self.iters += ITERS_PER_SAMPLE;
+    }
+}
+
+/// Declares a group runner: `criterion_group!(benches, f1, f2)` defines
+/// `pub fn benches()` invoking each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main()` running each `criterion_group!` in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        // warmup sample + 2 timed samples, ITERS_PER_SAMPLE iterations each
+        assert_eq!(runs, 3 * ITERS_PER_SAMPLE);
+    }
+
+    #[test]
+    fn iter_batched_ref_rebuilds_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(2);
+        let mut setups = 0u64;
+        group.bench_function("rebuild", |b| {
+            b.iter_batched_ref(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3 * ITERS_PER_SAMPLE);
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the exact (small) API surface the workspace consumes:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt`
+//! convenience methods (`random`, `random_range`, `random_bool`).
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — a
+//! high-quality deterministic PRNG. It is NOT the upstream `StdRng`
+//! (ChaCha12), so absolute random streams differ from a crates.io build,
+//! but every property the workspace relies on holds: identical seeds give
+//! identical streams, distinct seeds give independent streams, and all
+//! draws are uniform.
+
+#![forbid(unsafe_code)]
+
+/// Random number generators.
+pub mod rngs {
+    /// Deterministic generator: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a generator.
+pub trait Uniform: Sized {
+    /// Draws one uniform value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn sample(rng: &mut StdRng) -> Self {
+                rng.next() as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniform for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next() & 1 == 1
+    }
+}
+
+impl Uniform for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled, mirroring `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next() as $t);
+                }
+                lo + (rng.next() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods, mirroring `rand::RngExt`.
+pub trait RngExt {
+    /// Uniform draw of any [`Uniform`] type (integers: full range;
+    /// floats: `[0, 1)`).
+    fn random<T: Uniform>(&mut self) -> T;
+
+    /// Uniform draw from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for StdRng {
+    fn random<T: Uniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            // Consume a draw for stream parity with the open interval case.
+            let _ = self.next();
+            return true;
+        }
+        if p <= 0.0 {
+            let _ = self.next();
+            return false;
+        }
+        self.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: u64 = r.random_range(5u64..17);
+            assert!((5..17).contains(&x));
+            let y: usize = r.random_range(0usize..3);
+            assert!(y < 3);
+            let z: u64 = r.random_range(2u64..=4);
+            assert!((2..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn unit_floats() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_extremes() {
+        let mut r = StdRng::seed_from_u64(5);
+        assert!(r.random_bool(1.0));
+        assert!(!r.random_bool(0.0));
+        let trues = (0..10_000).filter(|_| r.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+}
