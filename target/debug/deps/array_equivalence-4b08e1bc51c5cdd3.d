@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_equivalence-4b08e1bc51c5cdd3.d: crates/cache/tests/array_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_equivalence-4b08e1bc51c5cdd3.rmeta: crates/cache/tests/array_equivalence.rs Cargo.toml
+
+crates/cache/tests/array_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

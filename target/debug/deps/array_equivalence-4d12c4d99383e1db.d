@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array_equivalence-4d12c4d99383e1db.d: crates/cache/tests/array_equivalence.rs
+
+/root/repo/target/debug/deps/array_equivalence-4d12c4d99383e1db: crates/cache/tests/array_equivalence.rs
+
+crates/cache/tests/array_equivalence.rs:

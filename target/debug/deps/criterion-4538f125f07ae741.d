@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-4538f125f07ae741.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-4538f125f07ae741: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-6e2c371aecde9cdc.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6e2c371aecde9cdc.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6e2c371aecde9cdc.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

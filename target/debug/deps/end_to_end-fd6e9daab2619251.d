@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-fd6e9daab2619251.d: crates/bench/benches/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-fd6e9daab2619251.rmeta: crates/bench/benches/end_to_end.rs Cargo.toml
+
+crates/bench/benches/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

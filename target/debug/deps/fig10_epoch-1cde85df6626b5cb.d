@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_epoch-1cde85df6626b5cb.d: crates/experiments/src/bin/fig10_epoch.rs
+
+/root/repo/target/debug/deps/fig10_epoch-1cde85df6626b5cb: crates/experiments/src/bin/fig10_epoch.rs
+
+crates/experiments/src/bin/fig10_epoch.rs:

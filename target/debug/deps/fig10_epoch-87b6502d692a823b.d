@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_epoch-87b6502d692a823b.d: crates/experiments/src/bin/fig10_epoch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_epoch-87b6502d692a823b.rmeta: crates/experiments/src/bin/fig10_epoch.rs Cargo.toml
+
+crates/experiments/src/bin/fig10_epoch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

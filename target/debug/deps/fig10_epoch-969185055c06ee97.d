@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_epoch-969185055c06ee97.d: crates/experiments/src/bin/fig10_epoch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_epoch-969185055c06ee97.rmeta: crates/experiments/src/bin/fig10_epoch.rs Cargo.toml
+
+crates/experiments/src/bin/fig10_epoch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_selection_ablation-9d3a770cc9bd0524.d: crates/experiments/src/bin/fig11_selection_ablation.rs
+
+/root/repo/target/debug/deps/fig11_selection_ablation-9d3a770cc9bd0524: crates/experiments/src/bin/fig11_selection_ablation.rs
+
+crates/experiments/src/bin/fig11_selection_ablation.rs:

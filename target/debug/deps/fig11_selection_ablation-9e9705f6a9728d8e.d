@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_selection_ablation-9e9705f6a9728d8e.d: crates/experiments/src/bin/fig11_selection_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_selection_ablation-9e9705f6a9728d8e.rmeta: crates/experiments/src/bin/fig11_selection_ablation.rs Cargo.toml
+
+crates/experiments/src/bin/fig11_selection_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_opt_headroom-84ef51bde18aa89f.d: crates/experiments/src/bin/fig12_opt_headroom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_opt_headroom-84ef51bde18aa89f.rmeta: crates/experiments/src/bin/fig12_opt_headroom.rs Cargo.toml
+
+crates/experiments/src/bin/fig12_opt_headroom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

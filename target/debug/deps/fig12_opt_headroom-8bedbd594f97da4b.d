@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_opt_headroom-8bedbd594f97da4b.d: crates/experiments/src/bin/fig12_opt_headroom.rs
+
+/root/repo/target/debug/deps/fig12_opt_headroom-8bedbd594f97da4b: crates/experiments/src/bin/fig12_opt_headroom.rs
+
+crates/experiments/src/bin/fig12_opt_headroom.rs:

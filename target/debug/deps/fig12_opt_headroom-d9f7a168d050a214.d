@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_opt_headroom-d9f7a168d050a214.d: crates/experiments/src/bin/fig12_opt_headroom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_opt_headroom-d9f7a168d050a214.rmeta: crates/experiments/src/bin/fig12_opt_headroom.rs Cargo.toml
+
+crates/experiments/src/bin/fig12_opt_headroom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

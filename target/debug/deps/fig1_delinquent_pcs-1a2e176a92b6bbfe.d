@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_delinquent_pcs-1a2e176a92b6bbfe.d: crates/experiments/src/bin/fig1_delinquent_pcs.rs
+
+/root/repo/target/debug/deps/fig1_delinquent_pcs-1a2e176a92b6bbfe: crates/experiments/src/bin/fig1_delinquent_pcs.rs
+
+crates/experiments/src/bin/fig1_delinquent_pcs.rs:

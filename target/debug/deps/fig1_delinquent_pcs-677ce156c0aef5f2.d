@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_delinquent_pcs-677ce156c0aef5f2.d: crates/experiments/src/bin/fig1_delinquent_pcs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_delinquent_pcs-677ce156c0aef5f2.rmeta: crates/experiments/src/bin/fig1_delinquent_pcs.rs Cargo.toml
+
+crates/experiments/src/bin/fig1_delinquent_pcs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

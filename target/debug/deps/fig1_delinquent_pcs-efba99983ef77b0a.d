@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_delinquent_pcs-efba99983ef77b0a.d: crates/experiments/src/bin/fig1_delinquent_pcs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_delinquent_pcs-efba99983ef77b0a.rmeta: crates/experiments/src/bin/fig1_delinquent_pcs.rs Cargo.toml
+
+crates/experiments/src/bin/fig1_delinquent_pcs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_next_use-76e2f2c43e8b3bbb.d: crates/experiments/src/bin/fig2_next_use.rs
+
+/root/repo/target/debug/deps/fig2_next_use-76e2f2c43e8b3bbb: crates/experiments/src/bin/fig2_next_use.rs
+
+crates/experiments/src/bin/fig2_next_use.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_next_use-e51456fd949b5849.d: crates/experiments/src/bin/fig2_next_use.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_next_use-e51456fd949b5849.rmeta: crates/experiments/src/bin/fig2_next_use.rs Cargo.toml
+
+crates/experiments/src/bin/fig2_next_use.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_single_core-2da506b2ca0bd323.d: crates/experiments/src/bin/fig3_single_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_single_core-2da506b2ca0bd323.rmeta: crates/experiments/src/bin/fig3_single_core.rs Cargo.toml
+
+crates/experiments/src/bin/fig3_single_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

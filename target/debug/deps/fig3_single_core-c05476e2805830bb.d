@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_single_core-c05476e2805830bb.d: crates/experiments/src/bin/fig3_single_core.rs
+
+/root/repo/target/debug/deps/fig3_single_core-c05476e2805830bb: crates/experiments/src/bin/fig3_single_core.rs
+
+crates/experiments/src/bin/fig3_single_core.rs:

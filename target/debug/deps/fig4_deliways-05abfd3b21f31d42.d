@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_deliways-05abfd3b21f31d42.d: crates/experiments/src/bin/fig4_deliways.rs
+
+/root/repo/target/debug/deps/fig4_deliways-05abfd3b21f31d42: crates/experiments/src/bin/fig4_deliways.rs
+
+crates/experiments/src/bin/fig4_deliways.rs:

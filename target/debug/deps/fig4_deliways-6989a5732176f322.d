@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_deliways-6989a5732176f322.d: crates/experiments/src/bin/fig4_deliways.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_deliways-6989a5732176f322.rmeta: crates/experiments/src/bin/fig4_deliways.rs Cargo.toml
+
+crates/experiments/src/bin/fig4_deliways.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

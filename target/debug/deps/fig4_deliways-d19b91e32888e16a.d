@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_deliways-d19b91e32888e16a.d: crates/experiments/src/bin/fig4_deliways.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_deliways-d19b91e32888e16a.rmeta: crates/experiments/src/bin/fig4_deliways.rs Cargo.toml
+
+crates/experiments/src/bin/fig4_deliways.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_dual_core-14644169d85aa097.d: crates/experiments/src/bin/fig5_dual_core.rs
+
+/root/repo/target/debug/deps/fig5_dual_core-14644169d85aa097: crates/experiments/src/bin/fig5_dual_core.rs
+
+crates/experiments/src/bin/fig5_dual_core.rs:

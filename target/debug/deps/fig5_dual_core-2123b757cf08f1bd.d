@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_dual_core-2123b757cf08f1bd.d: crates/experiments/src/bin/fig5_dual_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_dual_core-2123b757cf08f1bd.rmeta: crates/experiments/src/bin/fig5_dual_core.rs Cargo.toml
+
+crates/experiments/src/bin/fig5_dual_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_dual_core-5af8439f68e5ee23.d: crates/experiments/src/bin/fig5_dual_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_dual_core-5af8439f68e5ee23.rmeta: crates/experiments/src/bin/fig5_dual_core.rs Cargo.toml
+
+crates/experiments/src/bin/fig5_dual_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

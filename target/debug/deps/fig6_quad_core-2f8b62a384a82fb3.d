@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_quad_core-2f8b62a384a82fb3.d: crates/experiments/src/bin/fig6_quad_core.rs
+
+/root/repo/target/debug/deps/fig6_quad_core-2f8b62a384a82fb3: crates/experiments/src/bin/fig6_quad_core.rs
+
+crates/experiments/src/bin/fig6_quad_core.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_quad_core-b38e5a244314001f.d: crates/experiments/src/bin/fig6_quad_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_quad_core-b38e5a244314001f.rmeta: crates/experiments/src/bin/fig6_quad_core.rs Cargo.toml
+
+crates/experiments/src/bin/fig6_quad_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_eight_core-9f8bce98b0524447.d: crates/experiments/src/bin/fig7_eight_core.rs
+
+/root/repo/target/debug/deps/fig7_eight_core-9f8bce98b0524447: crates/experiments/src/bin/fig7_eight_core.rs
+
+crates/experiments/src/bin/fig7_eight_core.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_eight_core-a6d4c8e89ace1061.d: crates/experiments/src/bin/fig7_eight_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_eight_core-a6d4c8e89ace1061.rmeta: crates/experiments/src/bin/fig7_eight_core.rs Cargo.toml
+
+crates/experiments/src/bin/fig7_eight_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_antt-218f94399a12502c.d: crates/experiments/src/bin/fig8_antt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_antt-218f94399a12502c.rmeta: crates/experiments/src/bin/fig8_antt.rs Cargo.toml
+
+crates/experiments/src/bin/fig8_antt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

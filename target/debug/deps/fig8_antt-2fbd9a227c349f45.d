@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_antt-2fbd9a227c349f45.d: crates/experiments/src/bin/fig8_antt.rs
+
+/root/repo/target/debug/deps/fig8_antt-2fbd9a227c349f45: crates/experiments/src/bin/fig8_antt.rs
+
+crates/experiments/src/bin/fig8_antt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_cache_size-2a038be87c64de30.d: crates/experiments/src/bin/fig9_cache_size.rs
+
+/root/repo/target/debug/deps/fig9_cache_size-2a038be87c64de30: crates/experiments/src/bin/fig9_cache_size.rs
+
+crates/experiments/src/bin/fig9_cache_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_cache_size-a357ae9ccda6da9c.d: crates/experiments/src/bin/fig9_cache_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_cache_size-a357ae9ccda6da9c.rmeta: crates/experiments/src/bin/fig9_cache_size.rs Cargo.toml
+
+crates/experiments/src/bin/fig9_cache_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-0780c0e2056c0ef0.d: crates/trace/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/generator_properties-0780c0e2056c0ef0: crates/trace/tests/generator_properties.rs
+
+crates/trace/tests/generator_properties.rs:

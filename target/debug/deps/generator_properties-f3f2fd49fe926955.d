@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator_properties-f3f2fd49fe926955.d: crates/trace/tests/generator_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator_properties-f3f2fd49fe926955.rmeta: crates/trace/tests/generator_properties.rs Cargo.toml
+
+crates/trace/tests/generator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

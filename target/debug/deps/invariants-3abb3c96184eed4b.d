@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-3abb3c96184eed4b.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-3abb3c96184eed4b: tests/invariants.rs
+
+tests/invariants.rs:

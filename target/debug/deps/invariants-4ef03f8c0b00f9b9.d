@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-4ef03f8c0b00f9b9.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-4ef03f8c0b00f9b9.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

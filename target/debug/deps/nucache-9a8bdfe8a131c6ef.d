@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache-9a8bdfe8a131c6ef.d: crates/bench/benches/nucache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache-9a8bdfe8a131c6ef.rmeta: crates/bench/benches/nucache.rs Cargo.toml
+
+crates/bench/benches/nucache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

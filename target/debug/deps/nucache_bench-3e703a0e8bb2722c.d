@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nucache_bench-3e703a0e8bb2722c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nucache_bench-3e703a0e8bb2722c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

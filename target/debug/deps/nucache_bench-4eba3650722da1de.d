@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache_bench-4eba3650722da1de.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_bench-4eba3650722da1de.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

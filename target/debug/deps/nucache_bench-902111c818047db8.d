@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nucache_bench-902111c818047db8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnucache_bench-902111c818047db8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnucache_bench-902111c818047db8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache_bench-fa312eb6d85faa0b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_bench-fa312eb6d85faa0b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

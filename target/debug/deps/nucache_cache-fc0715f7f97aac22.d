@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/nucache_cache-fc0715f7f97aac22.d: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/basic.rs crates/cache/src/config.rs crates/cache/src/dueling.rs crates/cache/src/hierarchy.rs crates/cache/src/llc.rs crates/cache/src/meta.rs crates/cache/src/opt.rs crates/cache/src/policy/mod.rs crates/cache/src/policy/dip.rs crates/cache/src/policy/fifo.rs crates/cache/src/policy/lru.rs crates/cache/src/policy/nru.rs crates/cache/src/policy/plru.rs crates/cache/src/policy/random.rs crates/cache/src/policy/rrip.rs crates/cache/src/policy/ship.rs crates/cache/src/policy/tadip.rs crates/cache/src/shadow.rs crates/cache/src/stackdist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_cache-fc0715f7f97aac22.rmeta: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/basic.rs crates/cache/src/config.rs crates/cache/src/dueling.rs crates/cache/src/hierarchy.rs crates/cache/src/llc.rs crates/cache/src/meta.rs crates/cache/src/opt.rs crates/cache/src/policy/mod.rs crates/cache/src/policy/dip.rs crates/cache/src/policy/fifo.rs crates/cache/src/policy/lru.rs crates/cache/src/policy/nru.rs crates/cache/src/policy/plru.rs crates/cache/src/policy/random.rs crates/cache/src/policy/rrip.rs crates/cache/src/policy/ship.rs crates/cache/src/policy/tadip.rs crates/cache/src/shadow.rs crates/cache/src/stackdist.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/array.rs:
+crates/cache/src/basic.rs:
+crates/cache/src/config.rs:
+crates/cache/src/dueling.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/llc.rs:
+crates/cache/src/meta.rs:
+crates/cache/src/opt.rs:
+crates/cache/src/policy/mod.rs:
+crates/cache/src/policy/dip.rs:
+crates/cache/src/policy/fifo.rs:
+crates/cache/src/policy/lru.rs:
+crates/cache/src/policy/nru.rs:
+crates/cache/src/policy/plru.rs:
+crates/cache/src/policy/random.rs:
+crates/cache/src/policy/rrip.rs:
+crates/cache/src/policy/ship.rs:
+crates/cache/src/policy/tadip.rs:
+crates/cache/src/shadow.rs:
+crates/cache/src/stackdist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

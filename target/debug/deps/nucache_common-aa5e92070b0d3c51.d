@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nucache_common-aa5e92070b0d3c51.d: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_common-aa5e92070b0d3c51.rmeta: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/access.rs:
+crates/common/src/addr.rs:
+crates/common/src/histogram.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nucache_common-bb8b5b5b871045e1.d: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/debug/deps/nucache_common-bb8b5b5b871045e1: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+crates/common/src/lib.rs:
+crates/common/src/access.rs:
+crates/common/src/addr.rs:
+crates/common/src/histogram.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nucache_common-d0d8a96037d1deb3.d: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/debug/deps/libnucache_common-d0d8a96037d1deb3.rlib: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/debug/deps/libnucache_common-d0d8a96037d1deb3.rmeta: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+crates/common/src/lib.rs:
+crates/common/src/access.rs:
+crates/common/src/addr.rs:
+crates/common/src/histogram.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nucache_common-d140b761aac83fab.d: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_common-d140b761aac83fab.rmeta: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/access.rs:
+crates/common/src/addr.rs:
+crates/common/src/histogram.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nucache_core-76ebf7691c70cbdb.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_core-76ebf7691c70cbdb.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delinquent.rs:
+crates/core/src/llc.rs:
+crates/core/src/monitor.rs:
+crates/core/src/overhead.rs:
+crates/core/src/selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

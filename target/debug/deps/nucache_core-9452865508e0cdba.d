@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nucache_core-9452865508e0cdba.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+/root/repo/target/debug/deps/nucache_core-9452865508e0cdba: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delinquent.rs:
+crates/core/src/llc.rs:
+crates/core/src/monitor.rs:
+crates/core/src/overhead.rs:
+crates/core/src/selector.rs:

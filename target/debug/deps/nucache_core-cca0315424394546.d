@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nucache_core-cca0315424394546.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_core-cca0315424394546.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delinquent.rs:
+crates/core/src/llc.rs:
+crates/core/src/monitor.rs:
+crates/core/src/overhead.rs:
+crates/core/src/selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nucache_core-fda9eb5d9c5095aa.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+/root/repo/target/debug/deps/libnucache_core-fda9eb5d9c5095aa.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+/root/repo/target/debug/deps/libnucache_core-fda9eb5d9c5095aa.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delinquent.rs:
+crates/core/src/llc.rs:
+crates/core/src/monitor.rs:
+crates/core/src/overhead.rs:
+crates/core/src/selector.rs:

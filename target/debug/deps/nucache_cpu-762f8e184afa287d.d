@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nucache_cpu-762f8e184afa287d.d: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+/root/repo/target/debug/deps/nucache_cpu-762f8e184afa287d: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/metrics.rs:
+crates/cpu/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nucache_cpu-77903a34f7bcb479.d: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_cpu-77903a34f7bcb479.rmeta: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/metrics.rs:
+crates/cpu/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nucache_cpu-b6bd8a15eb217d9a.d: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_cpu-b6bd8a15eb217d9a.rmeta: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/metrics.rs:
+crates/cpu/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

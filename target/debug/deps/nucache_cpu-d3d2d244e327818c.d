@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache_cpu-d3d2d244e327818c.d: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+/root/repo/target/debug/deps/libnucache_cpu-d3d2d244e327818c.rlib: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+/root/repo/target/debug/deps/libnucache_cpu-d3d2d244e327818c.rmeta: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/metrics.rs:
+crates/cpu/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nucache_experiments-670d1330e9f4d130.d: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_experiments-670d1330e9f4d130.rmeta: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/characterize.rs:
+crates/experiments/src/figs.rs:
+crates/experiments/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

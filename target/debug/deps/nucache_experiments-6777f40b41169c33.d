@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nucache_experiments-6777f40b41169c33.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/nucache_experiments-6777f40b41169c33: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

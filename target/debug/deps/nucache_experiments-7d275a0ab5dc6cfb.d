@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nucache_experiments-7d275a0ab5dc6cfb.d: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+/root/repo/target/debug/deps/nucache_experiments-7d275a0ab5dc6cfb: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/characterize.rs:
+crates/experiments/src/figs.rs:
+crates/experiments/src/tables.rs:

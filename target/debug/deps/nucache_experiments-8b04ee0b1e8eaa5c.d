@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache_experiments-8b04ee0b1e8eaa5c.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_experiments-8b04ee0b1e8eaa5c.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nucache_experiments-9d12b8cdaf282d68.d: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+/root/repo/target/debug/deps/libnucache_experiments-9d12b8cdaf282d68.rlib: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+/root/repo/target/debug/deps/libnucache_experiments-9d12b8cdaf282d68.rmeta: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/characterize.rs:
+crates/experiments/src/figs.rs:
+crates/experiments/src/tables.rs:

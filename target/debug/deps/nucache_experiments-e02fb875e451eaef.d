@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache_experiments-e02fb875e451eaef.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_experiments-e02fb875e451eaef.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

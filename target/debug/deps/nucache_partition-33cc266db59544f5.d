@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache_partition-33cc266db59544f5.d: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+/root/repo/target/debug/deps/nucache_partition-33cc266db59544f5: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/baselines.rs:
+crates/partition/src/lookahead.rs:
+crates/partition/src/pipp.rs:
+crates/partition/src/ucp.rs:

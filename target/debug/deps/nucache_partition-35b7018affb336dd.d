@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nucache_partition-35b7018affb336dd.d: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_partition-35b7018affb336dd.rmeta: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/baselines.rs:
+crates/partition/src/lookahead.rs:
+crates/partition/src/pipp.rs:
+crates/partition/src/ucp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nucache_partition-5b71cc155f382c2d.d: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+/root/repo/target/debug/deps/libnucache_partition-5b71cc155f382c2d.rlib: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+/root/repo/target/debug/deps/libnucache_partition-5b71cc155f382c2d.rmeta: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/baselines.rs:
+crates/partition/src/lookahead.rs:
+crates/partition/src/pipp.rs:
+crates/partition/src/ucp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nucache_repro-b5ec84c34b65f83b.d: src/lib.rs
+
+/root/repo/target/debug/deps/nucache_repro-b5ec84c34b65f83b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nucache_repro-c15037e8e796b8dc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_repro-c15037e8e796b8dc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nucache_repro-fd438fd565e9ffed.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnucache_repro-fd438fd565e9ffed.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnucache_repro-fd438fd565e9ffed.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nucache_sim-4c44938fcce087e5.d: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+/root/repo/target/debug/deps/nucache_sim-4c44938fcce087e5: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/args.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/evaluator.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scheme.rs:

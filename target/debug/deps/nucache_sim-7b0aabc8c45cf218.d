@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nucache_sim-7b0aabc8c45cf218.d: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+/root/repo/target/debug/deps/libnucache_sim-7b0aabc8c45cf218.rlib: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+/root/repo/target/debug/deps/libnucache_sim-7b0aabc8c45cf218.rmeta: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/args.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/evaluator.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scheme.rs:

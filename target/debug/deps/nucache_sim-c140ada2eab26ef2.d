@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nucache_sim-c140ada2eab26ef2.d: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_sim-c140ada2eab26ef2.rmeta: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/args.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/evaluator.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nucache_trace-25f050fd12610dd8.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_trace-25f050fd12610dd8.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/spec.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

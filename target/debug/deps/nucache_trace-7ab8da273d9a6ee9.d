@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nucache_trace-7ab8da273d9a6ee9.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnucache_trace-7ab8da273d9a6ee9.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/spec.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

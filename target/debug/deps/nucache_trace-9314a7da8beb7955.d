@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nucache_trace-9314a7da8beb7955.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/nucache_trace-9314a7da8beb7955: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/spec.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nucache_trace-93c0bbac354e8a31.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/libnucache_trace-93c0bbac354e8a31.rlib: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/libnucache_trace-93c0bbac354e8a31.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/spec.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload.rs:

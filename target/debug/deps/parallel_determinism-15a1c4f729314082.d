@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-15a1c4f729314082.d: crates/sim/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-15a1c4f729314082: crates/sim/tests/parallel_determinism.rs
+
+crates/sim/tests/parallel_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-aba50ee9479c38c7.d: crates/sim/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-aba50ee9479c38c7.rmeta: crates/sim/tests/parallel_determinism.rs Cargo.toml
+
+crates/sim/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policies-9aa9bfa23441ba79.d: crates/bench/benches/policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicies-9aa9bfa23441ba79.rmeta: crates/bench/benches/policies.rs Cargo.toml
+
+crates/bench/benches/policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

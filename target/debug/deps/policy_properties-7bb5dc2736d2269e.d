@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_properties-7bb5dc2736d2269e.d: crates/cache/tests/policy_properties.rs
+
+/root/repo/target/debug/deps/policy_properties-7bb5dc2736d2269e: crates/cache/tests/policy_properties.rs
+
+crates/cache/tests/policy_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_properties-af3319d374581d50.d: crates/cache/tests/policy_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_properties-af3319d374581d50.rmeta: crates/cache/tests/policy_properties.rs Cargo.toml
+
+crates/cache/tests/policy_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

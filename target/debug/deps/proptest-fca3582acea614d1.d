@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-fca3582acea614d1.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-fca3582acea614d1: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

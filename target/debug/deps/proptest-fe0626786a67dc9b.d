@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-fe0626786a67dc9b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fe0626786a67dc9b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fe0626786a67dc9b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

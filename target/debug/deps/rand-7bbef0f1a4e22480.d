@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7bbef0f1a4e22480.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-7bbef0f1a4e22480: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a5e25ea753c6c56c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a5e25ea753c6c56c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a5e25ea753c6c56c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

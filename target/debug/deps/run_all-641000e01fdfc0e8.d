@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-641000e01fdfc0e8.d: crates/experiments/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-641000e01fdfc0e8: crates/experiments/src/bin/run_all.rs
+
+crates/experiments/src/bin/run_all.rs:

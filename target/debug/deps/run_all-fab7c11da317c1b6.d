@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-fab7c11da317c1b6.d: crates/experiments/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-fab7c11da317c1b6.rmeta: crates/experiments/src/bin/run_all.rs Cargo.toml
+
+crates/experiments/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selector_properties-99971307f8bc2c07.d: crates/core/tests/selector_properties.rs
+
+/root/repo/target/debug/deps/selector_properties-99971307f8bc2c07: crates/core/tests/selector_properties.rs
+
+crates/core/tests/selector_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selector_properties-fd3e9954626e7b71.d: crates/core/tests/selector_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselector_properties-fd3e9954626e7b71.rmeta: crates/core/tests/selector_properties.rs Cargo.toml
+
+crates/core/tests/selector_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-28a92c5deaa607c4.d: crates/experiments/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-28a92c5deaa607c4: crates/experiments/src/bin/simulate.rs
+
+crates/experiments/src/bin/simulate.rs:

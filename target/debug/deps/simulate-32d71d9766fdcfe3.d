@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-32d71d9766fdcfe3.d: crates/experiments/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-32d71d9766fdcfe3.rmeta: crates/experiments/src/bin/simulate.rs Cargo.toml
+
+crates/experiments/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-99d3a6d20051113b.d: crates/experiments/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-99d3a6d20051113b.rmeta: crates/experiments/src/bin/simulate.rs Cargo.toml
+
+crates/experiments/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

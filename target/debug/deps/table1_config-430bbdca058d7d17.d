@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_config-430bbdca058d7d17.d: crates/experiments/src/bin/table1_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_config-430bbdca058d7d17.rmeta: crates/experiments/src/bin/table1_config.rs Cargo.toml
+
+crates/experiments/src/bin/table1_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_config-54a7949e26695a67.d: crates/experiments/src/bin/table1_config.rs
+
+/root/repo/target/debug/deps/table1_config-54a7949e26695a67: crates/experiments/src/bin/table1_config.rs
+
+crates/experiments/src/bin/table1_config.rs:

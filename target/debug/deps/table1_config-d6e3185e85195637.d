@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_config-d6e3185e85195637.d: crates/experiments/src/bin/table1_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_config-d6e3185e85195637.rmeta: crates/experiments/src/bin/table1_config.rs Cargo.toml
+
+crates/experiments/src/bin/table1_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

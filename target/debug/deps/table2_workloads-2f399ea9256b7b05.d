@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_workloads-2f399ea9256b7b05.d: crates/experiments/src/bin/table2_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_workloads-2f399ea9256b7b05.rmeta: crates/experiments/src/bin/table2_workloads.rs Cargo.toml
+
+crates/experiments/src/bin/table2_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_workloads-46b6d7bd0d1478f7.d: crates/experiments/src/bin/table2_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_workloads-46b6d7bd0d1478f7.rmeta: crates/experiments/src/bin/table2_workloads.rs Cargo.toml
+
+crates/experiments/src/bin/table2_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

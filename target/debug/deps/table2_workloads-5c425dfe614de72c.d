@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_workloads-5c425dfe614de72c.d: crates/experiments/src/bin/table2_workloads.rs
+
+/root/repo/target/debug/deps/table2_workloads-5c425dfe614de72c: crates/experiments/src/bin/table2_workloads.rs
+
+crates/experiments/src/bin/table2_workloads.rs:

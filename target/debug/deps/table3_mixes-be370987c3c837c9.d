@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_mixes-be370987c3c837c9.d: crates/experiments/src/bin/table3_mixes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_mixes-be370987c3c837c9.rmeta: crates/experiments/src/bin/table3_mixes.rs Cargo.toml
+
+crates/experiments/src/bin/table3_mixes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

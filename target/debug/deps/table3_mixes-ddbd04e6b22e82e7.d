@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mixes-ddbd04e6b22e82e7.d: crates/experiments/src/bin/table3_mixes.rs
+
+/root/repo/target/debug/deps/table3_mixes-ddbd04e6b22e82e7: crates/experiments/src/bin/table3_mixes.rs
+
+crates/experiments/src/bin/table3_mixes.rs:

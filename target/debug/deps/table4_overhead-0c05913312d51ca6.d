@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_overhead-0c05913312d51ca6.d: crates/experiments/src/bin/table4_overhead.rs
+
+/root/repo/target/debug/deps/table4_overhead-0c05913312d51ca6: crates/experiments/src/bin/table4_overhead.rs
+
+crates/experiments/src/bin/table4_overhead.rs:

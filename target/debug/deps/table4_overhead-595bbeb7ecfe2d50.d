@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_overhead-595bbeb7ecfe2d50.d: crates/experiments/src/bin/table4_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_overhead-595bbeb7ecfe2d50.rmeta: crates/experiments/src/bin/table4_overhead.rs Cargo.toml
+
+crates/experiments/src/bin/table4_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

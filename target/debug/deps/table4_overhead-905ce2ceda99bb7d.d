@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_overhead-905ce2ceda99bb7d.d: crates/experiments/src/bin/table4_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_overhead-905ce2ceda99bb7d.rmeta: crates/experiments/src/bin/table4_overhead.rs Cargo.toml
+
+crates/experiments/src/bin/table4_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-82628abf631f404a.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-82628abf631f404a: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_workload-e007c1417bc27398.d: examples/custom_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_workload-e007c1417bc27398.rmeta: examples/custom_workload.rs Cargo.toml
+
+examples/custom_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

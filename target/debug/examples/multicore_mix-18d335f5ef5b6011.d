@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multicore_mix-18d335f5ef5b6011.d: examples/multicore_mix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulticore_mix-18d335f5ef5b6011.rmeta: examples/multicore_mix.rs Cargo.toml
+
+examples/multicore_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

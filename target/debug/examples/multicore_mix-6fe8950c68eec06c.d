@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multicore_mix-6fe8950c68eec06c.d: examples/multicore_mix.rs
+
+/root/repo/target/debug/examples/multicore_mix-6fe8950c68eec06c: examples/multicore_mix.rs
+
+examples/multicore_mix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_comparison-58b28596dbaa225f.d: examples/policy_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_comparison-58b28596dbaa225f.rmeta: examples/policy_comparison.rs Cargo.toml
+
+examples/policy_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-a8b03ef08d538a0c.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-a8b03ef08d538a0c: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9af0b59731e5a331.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9af0b59731e5a331: examples/quickstart.rs
+
+examples/quickstart.rs:

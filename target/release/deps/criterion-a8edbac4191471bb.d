@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-a8edbac4191471bb.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a8edbac4191471bb.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a8edbac4191471bb.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_epoch-3c81d4897b854cb0.d: crates/experiments/src/bin/fig10_epoch.rs
+
+/root/repo/target/release/deps/fig10_epoch-3c81d4897b854cb0: crates/experiments/src/bin/fig10_epoch.rs
+
+crates/experiments/src/bin/fig10_epoch.rs:

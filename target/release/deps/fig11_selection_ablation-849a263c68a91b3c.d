@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_selection_ablation-849a263c68a91b3c.d: crates/experiments/src/bin/fig11_selection_ablation.rs
+
+/root/repo/target/release/deps/fig11_selection_ablation-849a263c68a91b3c: crates/experiments/src/bin/fig11_selection_ablation.rs
+
+crates/experiments/src/bin/fig11_selection_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_opt_headroom-2e63cf1c93220fc8.d: crates/experiments/src/bin/fig12_opt_headroom.rs
+
+/root/repo/target/release/deps/fig12_opt_headroom-2e63cf1c93220fc8: crates/experiments/src/bin/fig12_opt_headroom.rs
+
+crates/experiments/src/bin/fig12_opt_headroom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_delinquent_pcs-290b2b1315d96f22.d: crates/experiments/src/bin/fig1_delinquent_pcs.rs
+
+/root/repo/target/release/deps/fig1_delinquent_pcs-290b2b1315d96f22: crates/experiments/src/bin/fig1_delinquent_pcs.rs
+
+crates/experiments/src/bin/fig1_delinquent_pcs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_next_use-27ef81a33c2526d7.d: crates/experiments/src/bin/fig2_next_use.rs
+
+/root/repo/target/release/deps/fig2_next_use-27ef81a33c2526d7: crates/experiments/src/bin/fig2_next_use.rs
+
+crates/experiments/src/bin/fig2_next_use.rs:

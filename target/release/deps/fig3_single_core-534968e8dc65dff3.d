@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_single_core-534968e8dc65dff3.d: crates/experiments/src/bin/fig3_single_core.rs
+
+/root/repo/target/release/deps/fig3_single_core-534968e8dc65dff3: crates/experiments/src/bin/fig3_single_core.rs
+
+crates/experiments/src/bin/fig3_single_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_deliways-77739ce61e2f0ddc.d: crates/experiments/src/bin/fig4_deliways.rs
+
+/root/repo/target/release/deps/fig4_deliways-77739ce61e2f0ddc: crates/experiments/src/bin/fig4_deliways.rs
+
+crates/experiments/src/bin/fig4_deliways.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_dual_core-7a871876aa9add50.d: crates/experiments/src/bin/fig5_dual_core.rs
+
+/root/repo/target/release/deps/fig5_dual_core-7a871876aa9add50: crates/experiments/src/bin/fig5_dual_core.rs
+
+crates/experiments/src/bin/fig5_dual_core.rs:

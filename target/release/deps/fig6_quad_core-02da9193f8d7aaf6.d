@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_quad_core-02da9193f8d7aaf6.d: crates/experiments/src/bin/fig6_quad_core.rs
+
+/root/repo/target/release/deps/fig6_quad_core-02da9193f8d7aaf6: crates/experiments/src/bin/fig6_quad_core.rs
+
+crates/experiments/src/bin/fig6_quad_core.rs:

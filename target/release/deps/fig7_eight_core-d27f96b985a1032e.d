@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_eight_core-d27f96b985a1032e.d: crates/experiments/src/bin/fig7_eight_core.rs
+
+/root/repo/target/release/deps/fig7_eight_core-d27f96b985a1032e: crates/experiments/src/bin/fig7_eight_core.rs
+
+crates/experiments/src/bin/fig7_eight_core.rs:

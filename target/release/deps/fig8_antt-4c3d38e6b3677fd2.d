@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_antt-4c3d38e6b3677fd2.d: crates/experiments/src/bin/fig8_antt.rs
+
+/root/repo/target/release/deps/fig8_antt-4c3d38e6b3677fd2: crates/experiments/src/bin/fig8_antt.rs
+
+crates/experiments/src/bin/fig8_antt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_cache_size-71a2502e29fc9876.d: crates/experiments/src/bin/fig9_cache_size.rs
+
+/root/repo/target/release/deps/fig9_cache_size-71a2502e29fc9876: crates/experiments/src/bin/fig9_cache_size.rs
+
+crates/experiments/src/bin/fig9_cache_size.rs:

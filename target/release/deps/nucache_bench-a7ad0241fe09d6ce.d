@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nucache_bench-a7ad0241fe09d6ce.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnucache_bench-a7ad0241fe09d6ce.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnucache_bench-a7ad0241fe09d6ce.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/nucache_cache-1d9a21dee085c162.d: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/basic.rs crates/cache/src/config.rs crates/cache/src/dueling.rs crates/cache/src/hierarchy.rs crates/cache/src/llc.rs crates/cache/src/meta.rs crates/cache/src/opt.rs crates/cache/src/policy/mod.rs crates/cache/src/policy/dip.rs crates/cache/src/policy/fifo.rs crates/cache/src/policy/lru.rs crates/cache/src/policy/nru.rs crates/cache/src/policy/plru.rs crates/cache/src/policy/random.rs crates/cache/src/policy/rrip.rs crates/cache/src/policy/ship.rs crates/cache/src/policy/tadip.rs crates/cache/src/shadow.rs crates/cache/src/stackdist.rs
+
+/root/repo/target/release/deps/libnucache_cache-1d9a21dee085c162.rlib: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/basic.rs crates/cache/src/config.rs crates/cache/src/dueling.rs crates/cache/src/hierarchy.rs crates/cache/src/llc.rs crates/cache/src/meta.rs crates/cache/src/opt.rs crates/cache/src/policy/mod.rs crates/cache/src/policy/dip.rs crates/cache/src/policy/fifo.rs crates/cache/src/policy/lru.rs crates/cache/src/policy/nru.rs crates/cache/src/policy/plru.rs crates/cache/src/policy/random.rs crates/cache/src/policy/rrip.rs crates/cache/src/policy/ship.rs crates/cache/src/policy/tadip.rs crates/cache/src/shadow.rs crates/cache/src/stackdist.rs
+
+/root/repo/target/release/deps/libnucache_cache-1d9a21dee085c162.rmeta: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/basic.rs crates/cache/src/config.rs crates/cache/src/dueling.rs crates/cache/src/hierarchy.rs crates/cache/src/llc.rs crates/cache/src/meta.rs crates/cache/src/opt.rs crates/cache/src/policy/mod.rs crates/cache/src/policy/dip.rs crates/cache/src/policy/fifo.rs crates/cache/src/policy/lru.rs crates/cache/src/policy/nru.rs crates/cache/src/policy/plru.rs crates/cache/src/policy/random.rs crates/cache/src/policy/rrip.rs crates/cache/src/policy/ship.rs crates/cache/src/policy/tadip.rs crates/cache/src/shadow.rs crates/cache/src/stackdist.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/array.rs:
+crates/cache/src/basic.rs:
+crates/cache/src/config.rs:
+crates/cache/src/dueling.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/llc.rs:
+crates/cache/src/meta.rs:
+crates/cache/src/opt.rs:
+crates/cache/src/policy/mod.rs:
+crates/cache/src/policy/dip.rs:
+crates/cache/src/policy/fifo.rs:
+crates/cache/src/policy/lru.rs:
+crates/cache/src/policy/nru.rs:
+crates/cache/src/policy/plru.rs:
+crates/cache/src/policy/random.rs:
+crates/cache/src/policy/rrip.rs:
+crates/cache/src/policy/ship.rs:
+crates/cache/src/policy/tadip.rs:
+crates/cache/src/shadow.rs:
+crates/cache/src/stackdist.rs:

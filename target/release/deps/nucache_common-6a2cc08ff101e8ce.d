@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nucache_common-6a2cc08ff101e8ce.d: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/release/deps/libnucache_common-6a2cc08ff101e8ce.rlib: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+/root/repo/target/release/deps/libnucache_common-6a2cc08ff101e8ce.rmeta: crates/common/src/lib.rs crates/common/src/access.rs crates/common/src/addr.rs crates/common/src/histogram.rs crates/common/src/rng.rs crates/common/src/stats.rs crates/common/src/table.rs
+
+crates/common/src/lib.rs:
+crates/common/src/access.rs:
+crates/common/src/addr.rs:
+crates/common/src/histogram.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+crates/common/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nucache_core-f1050a57b35b7dcd.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+/root/repo/target/release/deps/libnucache_core-f1050a57b35b7dcd.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+/root/repo/target/release/deps/libnucache_core-f1050a57b35b7dcd.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delinquent.rs crates/core/src/llc.rs crates/core/src/monitor.rs crates/core/src/overhead.rs crates/core/src/selector.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delinquent.rs:
+crates/core/src/llc.rs:
+crates/core/src/monitor.rs:
+crates/core/src/overhead.rs:
+crates/core/src/selector.rs:

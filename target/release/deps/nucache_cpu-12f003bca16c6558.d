@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nucache_cpu-12f003bca16c6558.d: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+/root/repo/target/release/deps/libnucache_cpu-12f003bca16c6558.rlib: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+/root/repo/target/release/deps/libnucache_cpu-12f003bca16c6558.rmeta: crates/cpu/src/lib.rs crates/cpu/src/metrics.rs crates/cpu/src/timing.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/metrics.rs:
+crates/cpu/src/timing.rs:

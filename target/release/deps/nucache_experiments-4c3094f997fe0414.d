@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nucache_experiments-4c3094f997fe0414.d: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+/root/repo/target/release/deps/libnucache_experiments-4c3094f997fe0414.rlib: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+/root/repo/target/release/deps/libnucache_experiments-4c3094f997fe0414.rmeta: crates/experiments/src/lib.rs crates/experiments/src/characterize.rs crates/experiments/src/figs.rs crates/experiments/src/tables.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/characterize.rs:
+crates/experiments/src/figs.rs:
+crates/experiments/src/tables.rs:

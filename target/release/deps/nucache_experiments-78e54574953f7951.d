@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nucache_experiments-78e54574953f7951.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/nucache_experiments-78e54574953f7951: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nucache_partition-2c61128035ed6e2b.d: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+/root/repo/target/release/deps/libnucache_partition-2c61128035ed6e2b.rlib: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+/root/repo/target/release/deps/libnucache_partition-2c61128035ed6e2b.rmeta: crates/partition/src/lib.rs crates/partition/src/baselines.rs crates/partition/src/lookahead.rs crates/partition/src/pipp.rs crates/partition/src/ucp.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/baselines.rs:
+crates/partition/src/lookahead.rs:
+crates/partition/src/pipp.rs:
+crates/partition/src/ucp.rs:

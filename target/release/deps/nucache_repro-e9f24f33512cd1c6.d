@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nucache_repro-e9f24f33512cd1c6.d: src/lib.rs
+
+/root/repo/target/release/deps/libnucache_repro-e9f24f33512cd1c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnucache_repro-e9f24f33512cd1c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nucache_sim-1fe428c7f2a1ad25.d: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+/root/repo/target/release/deps/libnucache_sim-1fe428c7f2a1ad25.rlib: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+/root/repo/target/release/deps/libnucache_sim-1fe428c7f2a1ad25.rmeta: crates/sim/src/lib.rs crates/sim/src/args.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/evaluator.rs crates/sim/src/runner.rs crates/sim/src/scheme.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/args.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/evaluator.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scheme.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nucache_trace-e74ef2046d83e189.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+/root/repo/target/release/deps/libnucache_trace-e74ef2046d83e189.rlib: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+/root/repo/target/release/deps/libnucache_trace-e74ef2046d83e189.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/mix.rs crates/trace/src/spec.rs crates/trace/src/stats.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/mix.rs:
+crates/trace/src/spec.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e2aceb6a40989d10.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e2aceb6a40989d10.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e2aceb6a40989d10.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-62c4cce3e94d7a05.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-62c4cce3e94d7a05.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-62c4cce3e94d7a05.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

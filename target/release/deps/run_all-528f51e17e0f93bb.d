@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-528f51e17e0f93bb.d: crates/experiments/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-528f51e17e0f93bb: crates/experiments/src/bin/run_all.rs
+
+crates/experiments/src/bin/run_all.rs:

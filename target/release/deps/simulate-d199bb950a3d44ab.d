@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-d199bb950a3d44ab.d: crates/experiments/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-d199bb950a3d44ab: crates/experiments/src/bin/simulate.rs
+
+crates/experiments/src/bin/simulate.rs:

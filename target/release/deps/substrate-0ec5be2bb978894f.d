@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate-0ec5be2bb978894f.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/release/deps/substrate-0ec5be2bb978894f: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

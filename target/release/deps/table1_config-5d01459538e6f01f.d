@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_config-5d01459538e6f01f.d: crates/experiments/src/bin/table1_config.rs
+
+/root/repo/target/release/deps/table1_config-5d01459538e6f01f: crates/experiments/src/bin/table1_config.rs
+
+crates/experiments/src/bin/table1_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_workloads-41831c7e0b37aa38.d: crates/experiments/src/bin/table2_workloads.rs
+
+/root/repo/target/release/deps/table2_workloads-41831c7e0b37aa38: crates/experiments/src/bin/table2_workloads.rs
+
+crates/experiments/src/bin/table2_workloads.rs:

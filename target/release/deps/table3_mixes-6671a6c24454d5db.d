@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mixes-6671a6c24454d5db.d: crates/experiments/src/bin/table3_mixes.rs
+
+/root/repo/target/release/deps/table3_mixes-6671a6c24454d5db: crates/experiments/src/bin/table3_mixes.rs
+
+crates/experiments/src/bin/table3_mixes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_overhead-a60a9f6e77d172af.d: crates/experiments/src/bin/table4_overhead.rs
+
+/root/repo/target/release/deps/table4_overhead-a60a9f6e77d172af: crates/experiments/src/bin/table4_overhead.rs
+
+crates/experiments/src/bin/table4_overhead.rs:
