@@ -4,6 +4,7 @@ use crate::basic::BasicCache;
 use crate::config::CacheGeometry;
 use crate::meta::AccessOutcome;
 use crate::policy::ReplacementPolicy;
+use nucache_common::telemetry::Event;
 use nucache_common::{AccessKind, CacheStats, CoreId, LineAddr, Pc};
 
 /// A shared last-level cache organization.
@@ -36,6 +37,25 @@ pub trait SharedLlc {
     /// Scheme name as it appears in tables (e.g. `"lru"`, `"ucp"`,
     /// `"nucache"`).
     fn scheme_name(&self) -> String;
+
+    /// Enables (or disables) internal telemetry: while enabled, the
+    /// scheme buffers epoch-level [`Event`]s describing its adaptive
+    /// state for [`SharedLlc::drain_events`] to collect.
+    ///
+    /// The default is a no-op — schemes with no epoch-level internals
+    /// (plain replacement policies) simply have nothing to report, and
+    /// schemes that do report pay nothing while disabled beyond one
+    /// branch per epoch.
+    fn set_telemetry(&mut self, _enabled: bool) {}
+
+    /// Removes and returns the telemetry events buffered since the last
+    /// drain (empty unless [`SharedLlc::set_telemetry`] enabled
+    /// collection). The simulation driver drains at its own snapshot
+    /// cadence and forwards everything to the active event sink, so
+    /// scheme internals never need a direct sink reference.
+    fn drain_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
 }
 
 /// A classic shared LLC: one [`BasicCache`] with a replacement policy and
@@ -152,5 +172,15 @@ mod tests {
     fn zero_cores_rejected() {
         let g = CacheGeometry::new(1024, 2, 64);
         let _ = ClassicLlc::new(g, Lru::new(&g), 0);
+    }
+
+    #[test]
+    fn telemetry_defaults_are_inert() {
+        // Classic organizations have no epoch-level internals: enabling
+        // telemetry is accepted and drains nothing.
+        let mut l = llc();
+        l.set_telemetry(true);
+        l.access(CoreId::new(0), Pc::new(1), LineAddr::new(1), AccessKind::Read);
+        assert!(l.drain_events().is_empty());
     }
 }

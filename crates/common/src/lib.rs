@@ -3,8 +3,11 @@
 //! This crate holds the vocabulary shared by every other crate in the
 //! workspace: strongly-typed addresses and program counters, access
 //! records, geometric histograms (used by the Next-Use monitor), counter
-//! bundles, a deterministic seeded RNG wrapper, and small text-table /
-//! CSV reporting helpers used by the experiment binaries.
+//! bundles, a deterministic seeded RNG wrapper, small text-table /
+//! CSV reporting helpers used by the experiment binaries, and the
+//! epoch-level [`telemetry`] event model (with its dependency-free
+//! [`json`] substrate) that the simulator's JSONL streams and run
+//! manifests are built on.
 //!
 //! # Examples
 //!
@@ -21,12 +24,16 @@
 pub mod access;
 pub mod addr;
 pub mod histogram;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 
 pub use access::{Access, AccessKind};
 pub use addr::{Addr, CoreId, LineAddr, Pc};
 pub use histogram::Log2Histogram;
+pub use json::JsonValue;
 pub use rng::DetRng;
 pub use stats::CacheStats;
+pub use telemetry::{CounterSink, Event, EventSink, JsonlSink, NullSink};

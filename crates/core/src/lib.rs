@@ -21,6 +21,33 @@
 //! PC (cost). A greedy pass — or, for ablation, exhaustive search —
 //! maximizes expected DeliWays hits.
 //!
+//! # Epoch data flow: monitor → selector → DeliWays
+//!
+//! ```text
+//!  demand accesses
+//!        │
+//!        ▼
+//!  DelinquentTracker            per-PC miss/fill counters
+//!        │ top-K delinquent PCs
+//!        ▼
+//!  NextUseMonitor (sampled)     histograms of set-accesses between
+//!        │                      MainWays eviction and next request
+//!        ▼  every epoch_len LLC accesses
+//!  selector::select_pcs         cost-benefit over the histograms
+//!        │ chosen PC set
+//!        ▼
+//!  MainWays eviction ──(allocated by a chosen PC?)──▶ DeliWays (FIFO)
+//! ```
+//!
+//! Each epoch ends with a selection pass, then the tracker and monitor
+//! decay so the next epoch reflects recent behaviour. With telemetry
+//! enabled ([`nucache_cache::SharedLlc::set_telemetry`]) the
+//! organization buffers one `selection_epoch` event per epoch — chosen
+//! set, expected hits, DeliWays occupancy and hit/fill counters, and
+//! histogram quantiles of the top PCs, snapshotted exactly as the
+//! selector saw them (before the decays) — for the simulation driver to
+//! drain into its event sink.
+//!
 //! # Crate layout
 //!
 //! * [`NuCacheConfig`] — all knobs with paper-faithful defaults;

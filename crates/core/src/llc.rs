@@ -6,8 +6,14 @@ use crate::monitor::NextUseMonitor;
 use crate::selector::{build_candidates, select_pcs, Selection};
 use nucache_cache::meta::{AccessOutcome, EvictedLine, LineMeta};
 use nucache_cache::{CacheGeometry, SetArray, SharedLlc};
+use nucache_common::telemetry::{Event, PcSnapshot};
 use nucache_common::{AccessKind, CacheStats, CoreId, LineAddr, Pc};
 use std::collections::HashSet;
+
+/// Candidate PCs included per [`Event::SelectionEpoch`] snapshot; enough
+/// to cover every realistic chosen set (DeliWays ≤ 16) with headroom for
+/// the rejected tail the cost-benefit analysis argued about.
+const TELEMETRY_TOP_PCS: usize = 16;
 
 /// A shared LLC organized as NUcache.
 ///
@@ -58,6 +64,12 @@ pub struct NuCache {
     deli_fills: u64,
     stats: CacheStats,
     core_stats: Vec<CacheStats>,
+    /// When set, each selection epoch appends an
+    /// [`Event::SelectionEpoch`] to `pending_events` for the driver to
+    /// drain. Off by default: the only cost while disabled is this one
+    /// branch per epoch.
+    telemetry: bool,
+    pending_events: Vec<Event>,
 }
 
 impl NuCache {
@@ -96,6 +108,8 @@ impl NuCache {
             deli_fills: 0,
             stats: CacheStats::default(),
             core_stats: vec![CacheStats::default(); num_cores],
+            telemetry: false,
+            pending_events: Vec::new(),
         }
     }
 
@@ -257,6 +271,9 @@ impl NuCache {
             self.config.seed ^ self.epochs,
         );
         self.chosen = self.last_selection.chosen.iter().copied().collect();
+        if self.telemetry {
+            self.pending_events.push(self.selection_snapshot(&top));
+        }
         self.tracker.decay();
         self.monitor.decay();
         self.deli_fills_by_pc.retain(|_, c| {
@@ -264,6 +281,51 @@ impl NuCache {
             *c > 0
         });
         self.window_accesses /= 2;
+    }
+
+    /// Valid lines currently resident in the DeliWays across all sets.
+    pub fn deli_occupancy(&self) -> u64 {
+        let geom = self.array.geometry();
+        (0..geom.num_sets())
+            .map(|s| {
+                (self.main_ways..self.main_ways + self.deli_ways)
+                    .filter(|&w| self.array.get(s, w).is_some())
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Builds the telemetry snapshot of the selection that just ran.
+    /// Called before the epoch decays, so fills, window accesses and
+    /// histogram summaries are exactly what the selector saw.
+    fn selection_snapshot(&self, top: &[(Pc, u64)]) -> Event {
+        let quant = |pc: Pc, p: f64| self.monitor.histogram(pc).and_then(|h| h.quantile(p));
+        let top_pcs: Vec<PcSnapshot> = top
+            .iter()
+            .take(TELEMETRY_TOP_PCS)
+            .map(|&(pc, fills)| PcSnapshot {
+                pc,
+                fills,
+                chosen: self.chosen.contains(&pc),
+                samples: self.monitor.histogram(pc).map_or(0, |h| h.total()),
+                p25: quant(pc, 0.25),
+                p50: quant(pc, 0.5),
+                p75: quant(pc, 0.75),
+                p90: quant(pc, 0.9),
+            })
+            .collect();
+        Event::SelectionEpoch {
+            epoch: self.epochs,
+            window_accesses: self.window_accesses,
+            chosen: self.chosen_pcs(),
+            expected_hits: self.last_selection.expected_hits,
+            extra_lifetime: self.last_selection.extra_lifetime,
+            deli_hits: self.deli_hits,
+            deli_fills: self.deli_fills,
+            deli_occupancy: self.deli_occupancy(),
+            deli_capacity: (self.deli_ways * self.array.geometry().num_sets()) as u64,
+            top_pcs,
+        }
     }
 
     fn epoch_tick(&mut self) {
@@ -373,6 +435,17 @@ impl SharedLlc for NuCache {
 
     fn scheme_name(&self) -> String {
         format!("nucache-d{}", self.deli_ways)
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled;
+        if !enabled {
+            self.pending_events.clear();
+        }
+    }
+
+    fn drain_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.pending_events)
     }
 }
 
@@ -533,6 +606,62 @@ mod tests {
         };
         assert!(!run(false), "pure FIFO drops the reused line on schedule");
         assert!(run(true), "second-chance FIFO keeps the reused line");
+    }
+
+    #[test]
+    fn telemetry_emits_one_event_per_epoch() {
+        let mut config = test_config(8);
+        config.epoch_len = 2_000;
+        let mut llc = NuCache::new(geom(64, 16), 1, config);
+        llc.set_telemetry(true);
+        for round in 0..10_000u64 {
+            read(&mut llc, 1, round % 768);
+        }
+        let events = llc.drain_events();
+        assert_eq!(events.len() as u64, llc.epochs());
+        assert!(!events.is_empty());
+        let Event::SelectionEpoch { epoch, chosen, deli_capacity, top_pcs, .. } = &events[0] else {
+            panic!("expected a selection epoch, got {events:?}");
+        };
+        assert_eq!(*epoch, 1);
+        assert_eq!(*deli_capacity, 8 * 64);
+        assert!(top_pcs.iter().any(|p| p.fills > 0), "candidates carry fill counts");
+        for pc in chosen {
+            assert!(top_pcs.iter().any(|p| p.pc == *pc && p.chosen), "chosen PCs flagged");
+        }
+        assert!(llc.drain_events().is_empty(), "drain consumes the buffer");
+    }
+
+    #[test]
+    fn telemetry_disabled_buffers_nothing() {
+        let mut config = test_config(2);
+        config.epoch_len = 500;
+        let mut llc = NuCache::new(geom(16, 4), 1, config);
+        for n in 0..5_000u64 {
+            read(&mut llc, 1, n % 40);
+        }
+        assert!(llc.epochs() > 0);
+        assert!(llc.drain_events().is_empty());
+        // Disabling clears anything pending.
+        llc.set_telemetry(true);
+        for n in 0..1_000u64 {
+            read(&mut llc, 1, n % 40);
+        }
+        llc.set_telemetry(false);
+        assert!(llc.drain_events().is_empty());
+    }
+
+    #[test]
+    fn deli_occupancy_counts_valid_deli_lines() {
+        let mut llc = NuCache::new(geom(1, 4), 1, test_config(2));
+        llc.chosen.insert(Pc::new(1));
+        assert_eq!(llc.deli_occupancy(), 0);
+        read(&mut llc, 1, 0);
+        read(&mut llc, 1, 1);
+        read(&mut llc, 1, 2); // evicts 0 -> DeliWays
+        assert_eq!(llc.deli_occupancy(), 1);
+        read(&mut llc, 1, 3); // evicts 1 -> DeliWays
+        assert_eq!(llc.deli_occupancy(), 2);
     }
 
     #[test]

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 10 (selection-epoch sensitivity).
-fn main() {
-    nucache_experiments::figs::fig10();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig10_epoch", || {
+        nucache_experiments::figs::fig10();
+    })
 }

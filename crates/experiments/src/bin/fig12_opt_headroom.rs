@@ -1,4 +1,6 @@
 //! Regenerates Fig. 12 (Belady-OPT headroom analysis).
-fn main() {
-    nucache_experiments::figs::fig12();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig12_opt_headroom", || {
+        nucache_experiments::figs::fig12();
+    })
 }

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 1 (delinquent-PC miss concentration).
-fn main() {
-    nucache_experiments::figs::fig1();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig1_delinquent_pcs", || {
+        nucache_experiments::figs::fig1();
+    })
 }

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 2 (Next-Use distance distributions).
-fn main() {
-    nucache_experiments::figs::fig2();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig2_next_use", || {
+        nucache_experiments::figs::fig2();
+    })
 }

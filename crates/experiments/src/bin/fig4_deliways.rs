@@ -1,4 +1,6 @@
 //! Regenerates Fig. 4 (DeliWays sensitivity).
-fn main() {
-    nucache_experiments::figs::fig4();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig4_deliways", || {
+        nucache_experiments::figs::fig4();
+    })
 }

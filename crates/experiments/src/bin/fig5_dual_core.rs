@@ -1,5 +1,7 @@
 //! Regenerates Fig. 5 (2-core headline comparison).
-fn main() {
-    let g = nucache_experiments::figs::fig5();
-    println!("\ngeomean normalized WS over LRU: {g:?}");
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig5_dual_core", || {
+        let g = nucache_experiments::figs::fig5();
+        println!("\ngeomean normalized WS over LRU: {g:?}");
+    })
 }

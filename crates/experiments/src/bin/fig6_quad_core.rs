@@ -1,5 +1,7 @@
 //! Regenerates Fig. 6 (4-core headline comparison).
-fn main() {
-    let g = nucache_experiments::figs::fig6();
-    println!("\ngeomean normalized WS over LRU: {g:?}");
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig6_quad_core", || {
+        let g = nucache_experiments::figs::fig6();
+        println!("\ngeomean normalized WS over LRU: {g:?}");
+    })
 }

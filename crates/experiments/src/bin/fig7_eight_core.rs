@@ -1,5 +1,7 @@
 //! Regenerates Fig. 7 (8-core headline comparison).
-fn main() {
-    let g = nucache_experiments::figs::fig7();
-    println!("\ngeomean normalized WS over LRU: {g:?}");
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig7_eight_core", || {
+        let g = nucache_experiments::figs::fig7();
+        println!("\ngeomean normalized WS over LRU: {g:?}");
+    })
 }

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 8 (ANTT across core counts).
-fn main() {
-    nucache_experiments::figs::fig8();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("fig8_antt", || {
+        nucache_experiments::figs::fig8();
+    })
 }

@@ -1,0 +1,40 @@
+//! `report` — renders a telemetry directory (JSONL streams plus
+//! `manifest.json`, as written by any binary's `--telemetry DIR` flag)
+//! into markdown epoch timelines: selection churn and DeliWays occupancy
+//! over time, per stream.
+//!
+//! The markdown goes to stdout and to `DIR/report.md`.
+
+use nucache_experiments::report::render_report;
+use nucache_sim::args::Args;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    if args.flag("help") {
+        println!("usage: report [--dir DIR]");
+        println!("  --dir DIR  telemetry directory to render (default: target/telemetry)");
+        return Ok(());
+    }
+    let dir = PathBuf::from(args.get_or("dir", "target/telemetry"));
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    let markdown = render_report(&dir)?;
+    print!("{markdown}");
+    let out = dir.join("report.md");
+    std::fs::write(&out, &markdown).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("[report] wrote {}", out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try --help");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,9 +4,17 @@
 //! `NUCACHE_JOBS`, default: available parallelism); emitted CSVs are
 //! identical at any worker count. Per-step wall time and simulation
 //! throughput land in `bench_summary.json` next to the CSVs.
+//!
+//! A step that panics is reported and skipped — the remaining steps
+//! still run, and the process exits non-zero naming every failure.
+//! `--telemetry DIR` streams every simulation's events into DIR and
+//! writes a single `manifest.json` covering the whole evaluation.
 
 use nucache_sim::args::Args;
+use nucache_sim::telemetry::{git_revision, take_manifest_config, Manifest};
 use nucache_sim::{default_jobs, set_default_jobs, take_simulated_accesses};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -48,34 +56,51 @@ fn write_bench_summary(jobs: usize, total_seconds: f64, steps: &[StepStats]) {
 }
 
 fn run() -> Result<(), String> {
-    let args = Args::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(argv.iter().cloned()).map_err(|e| e.to_string())?;
     if args.flag("help") {
-        println!("options: --jobs N (worker threads; default: NUCACHE_JOBS or available parallelism) --help");
+        println!(
+            "options: --jobs N (worker threads; default: NUCACHE_JOBS or available parallelism) \
+             --telemetry DIR --help"
+        );
         return Ok(());
     }
     let jobs: usize = args.get_num("jobs", 0).map_err(|e| e.to_string())?;
+    let telemetry = args.get_or("telemetry", "").to_string();
     args.reject_unknown().map_err(|e| e.to_string())?;
     if jobs >= 1 {
         set_default_jobs(jobs);
     }
     let jobs = default_jobs();
     eprintln!("[run_all] using {jobs} worker thread{}", if jobs == 1 { "" } else { "s" });
+    let telemetry_dir = (!telemetry.is_empty()).then(|| PathBuf::from(telemetry));
+    if let Some(dir) = &telemetry_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        nucache_sim::set_default_telemetry_dir(Some(dir));
+        let _ = take_manifest_config();
+    }
 
     let t0 = Instant::now();
     let mut stats: Vec<StepStats> = Vec::new();
+    let mut failures: Vec<&'static str> = Vec::new();
     take_simulated_accesses(); // discard anything counted before the first step
     let mut step = |name: &'static str, f: &dyn Fn()| {
         let t = Instant::now();
-        f();
+        let outcome = catch_unwind(AssertUnwindSafe(f));
         let seconds = t.elapsed().as_secs_f64();
         let simulated_accesses = take_simulated_accesses();
-        if simulated_accesses > 0 {
-            eprintln!(
+        match outcome {
+            Ok(()) if simulated_accesses > 0 => eprintln!(
                 "[run_all] {name} done in {seconds:.1}s ({:.0} accesses/sec)",
                 simulated_accesses as f64 / seconds.max(1e-9)
-            );
-        } else {
-            eprintln!("[run_all] {name} done in {seconds:.1}s");
+            ),
+            Ok(()) => eprintln!("[run_all] {name} done in {seconds:.1}s"),
+            Err(_) => {
+                // The panic message itself already went to stderr via the
+                // default hook; record the step and move on.
+                eprintln!("[run_all] {name} FAILED after {seconds:.1}s");
+                failures.push(name);
+            }
         }
         stats.push(StepStats { id: name, seconds, simulated_accesses });
     };
@@ -105,6 +130,26 @@ fn run() -> Result<(), String> {
     let total = t0.elapsed().as_secs_f64();
     eprintln!("[run_all] total {total:.1}s");
     write_bench_summary(jobs, total, &stats);
+    eprintln!("[run_all] results in {}", nucache_experiments::out_dir().display());
+    if let Some(dir) = &telemetry_dir {
+        let manifest = Manifest {
+            experiment: "run_all".to_string(),
+            argv,
+            git_revision: git_revision(),
+            wall_seconds: total,
+            jobs: jobs as u64,
+            quick: nucache_experiments::quick_mode(),
+            config: take_manifest_config(),
+            streams: Vec::new(),
+        };
+        match nucache_sim::write_manifest(dir, &manifest) {
+            Ok(path) => eprintln!("[run_all] telemetry in {} ({})", dir.display(), path.display()),
+            Err(e) => eprintln!("[run_all] failed to write manifest in {}: {e}", dir.display()),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!("{} step(s) failed: {}", failures.len(), failures.join(", ")));
+    }
     Ok(())
 }
 

@@ -16,16 +16,20 @@ use nucache_cache::CacheGeometry;
 use nucache_common::table::{f2, f3, Table};
 use nucache_core::NuCacheConfig;
 use nucache_sim::args::Args;
+use nucache_sim::telemetry::{git_revision, take_manifest_config, Manifest};
 use nucache_sim::{run_mix, Runner, Scheme, SimConfig};
 use nucache_trace::{Mix, SpecWorkload};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn run() -> Result<(), String> {
-    let args = Args::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(argv.iter().cloned()).map_err(|e| e.to_string())?;
     if args.flag("help") {
         println!(
             "options: --cores N --scheme NAME --workloads a,b,... --llc-mb N \
-             --warmup N --measure N --seed N --deli-ways N --epoch N --normalize --jobs N --help"
+             --warmup N --measure N --seed N --deli-ways N --epoch N --normalize --jobs N \
+             --telemetry DIR --help"
         );
         return Ok(());
     }
@@ -43,10 +47,18 @@ fn run() -> Result<(), String> {
     let workloads_arg = args.get_or("workloads", "").to_string();
     let normalize = args.flag("normalize");
     let jobs: usize = args.get_num("jobs", 0).map_err(|e| e.to_string())?;
+    let telemetry = args.get_or("telemetry", "").to_string();
     args.reject_unknown().map_err(|e| e.to_string())?;
     if jobs >= 1 {
         nucache_sim::set_default_jobs(jobs);
     }
+    let telemetry_dir = (!telemetry.is_empty()).then(|| PathBuf::from(telemetry));
+    if let Some(dir) = &telemetry_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        nucache_sim::set_default_telemetry_dir(Some(dir));
+        let _ = take_manifest_config();
+    }
+    let t0 = std::time::Instant::now();
 
     let workloads: Vec<SpecWorkload> = if workloads_arg.is_empty() {
         SpecWorkload::ALL.iter().copied().cycle().take(cores).collect()
@@ -106,7 +118,25 @@ fn run() -> Result<(), String> {
         println!("throughput:       {:.3}", metrics.throughput);
         println!("fairness:         {:.3}", metrics.fairness);
     } else {
-        let result = run_mix(&config, &mix, &scheme);
+        let result = if let Some(spec) = nucache_sim::TelemetrySpec::from_default_dir() {
+            nucache_sim::telemetry::note_manifest_config(&config);
+            let path =
+                nucache_sim::telemetry::stream_path(&spec.dir, 0, mix.name(), &scheme.name());
+            let mut sink = nucache_common::JsonlSink::create(&path)
+                .map_err(|e| format!("creating telemetry stream {}: {e}", path.display()))?;
+            let r = nucache_sim::run_mix_telemetry(
+                &config,
+                &mix,
+                &scheme,
+                spec.snapshot_interval,
+                &mut sink,
+            );
+            sink.finish()
+                .map_err(|e| format!("writing telemetry stream {}: {e}", path.display()))?;
+            r
+        } else {
+            run_mix(&config, &mix, &scheme)
+        };
         for (i, c) in result.per_core.iter().enumerate() {
             t.row([
                 i.to_string(),
@@ -118,6 +148,21 @@ fn run() -> Result<(), String> {
         }
         print!("{}", t.to_text());
         println!("\nLLC totals: {}", result.llc_totals);
+    }
+    if let Some(dir) = &telemetry_dir {
+        let manifest = Manifest {
+            experiment: "simulate".to_string(),
+            argv,
+            git_revision: git_revision(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            jobs: nucache_sim::default_jobs() as u64,
+            quick: nucache_experiments::quick_mode(),
+            config: take_manifest_config(),
+            streams: Vec::new(),
+        };
+        let path = nucache_sim::write_manifest(dir, &manifest)
+            .map_err(|e| format!("writing manifest in {}: {e}", dir.display()))?;
+        println!("[telemetry] wrote {}", path.display());
     }
     Ok(())
 }

@@ -1,4 +1,6 @@
 //! Regenerates Table 1 (system configuration).
-fn main() {
-    nucache_experiments::tables::table1();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("table1_config", || {
+        nucache_experiments::tables::table1();
+    })
 }

@@ -1,4 +1,6 @@
 //! Regenerates Table 2 (workload inventory).
-fn main() {
-    nucache_experiments::tables::table2();
+fn main() -> std::process::ExitCode {
+    nucache_experiments::cli_run("table2_workloads", || {
+        nucache_experiments::tables::table2();
+    })
 }

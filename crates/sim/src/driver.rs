@@ -14,8 +14,10 @@
 
 use crate::config::SimConfig;
 use crate::scheme::Scheme;
+use crate::telemetry::DEFAULT_SNAPSHOT_INTERVAL;
 use nucache_cache::hierarchy::{PrivateHierarchy, PrivateOutcome};
 use nucache_cache::SharedLlc;
+use nucache_common::telemetry::{Event, EventSink, NullSink, Stage};
 use nucache_common::{AccessKind, CacheStats, CoreId};
 use nucache_cpu::{CoreClock, ServiceLevel};
 use nucache_trace::{Mix, SpecWorkload, TraceGen};
@@ -93,6 +95,30 @@ pub fn run_mix(config: &SimConfig, mix: &Mix, scheme: &Scheme) -> SimResult {
     run_mix_on(config, mix, llc.as_mut())
 }
 
+/// Simulates `mix` under `scheme` while streaming epoch-level telemetry
+/// into `sink`: a `run_start` banner, periodic cumulative LLC counter
+/// snapshots every `snapshot_interval` issued accesses, any
+/// scheme-internal events (NUcache selection epochs), and a `run_end`
+/// record with the frozen per-core results.
+///
+/// Telemetry is observation only — the returned [`SimResult`] is
+/// bit-identical to [`run_mix`]'s for the same inputs (asserted by
+/// `tests/telemetry_determinism.rs`).
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from the config's.
+pub fn run_mix_telemetry(
+    config: &SimConfig,
+    mix: &Mix,
+    scheme: &Scheme,
+    snapshot_interval: u64,
+    sink: &mut dyn EventSink,
+) -> SimResult {
+    let mut llc = scheme.build(config.llc, config.num_cores, config.seed);
+    run_mix_on_sink(config, mix, llc.as_mut(), snapshot_interval, sink)
+}
+
 /// Simulates `mix` on a caller-provided LLC instance, so callers can
 /// inspect scheme-specific internals (monitors, chosen PCs, …) after the
 /// run.
@@ -101,8 +127,37 @@ pub fn run_mix(config: &SimConfig, mix: &Mix, scheme: &Scheme) -> SimResult {
 ///
 /// Panics if the mix's core count differs from the config's.
 pub fn run_mix_on(config: &SimConfig, mix: &Mix, llc: &mut dyn SharedLlc) -> SimResult {
+    let mut sink = NullSink;
+    run_mix_on_sink(config, mix, llc, DEFAULT_SNAPSHOT_INTERVAL, &mut sink)
+}
+
+/// [`run_mix_on`] with an explicit telemetry sink (the general form the
+/// other entry points delegate to).
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from the config's, or
+/// `snapshot_interval` is zero while the sink is enabled.
+pub fn run_mix_on_sink(
+    config: &SimConfig,
+    mix: &Mix,
+    llc: &mut dyn SharedLlc,
+    snapshot_interval: u64,
+    sink: &mut dyn EventSink,
+) -> SimResult {
     assert_eq!(mix.num_cores(), config.num_cores, "mix/config core-count mismatch");
     config.validate();
+    let telemetry = sink.is_enabled();
+    if telemetry {
+        assert!(snapshot_interval > 0, "snapshot_interval must be positive with telemetry on");
+        llc.set_telemetry(true);
+        sink.record(&Event::RunStart {
+            mix: mix.name().to_string(),
+            scheme: llc.scheme_name(),
+            cores: config.num_cores as u64,
+            seed: config.seed,
+        });
+    }
     let mut cores: Vec<CoreState> = mix
         .workloads()
         .iter()
@@ -121,7 +176,12 @@ pub fn run_mix_on(config: &SimConfig, mix: &Mix, llc: &mut dyn SharedLlc) -> Sim
         .collect();
 
     // Warm-up stage.
-    run_until(config, &mut cores, llc, config.warmup_accesses, false);
+    let mut warm_ctx = if telemetry {
+        Some(TeleCtx::new(&mut *sink, Stage::Warmup, snapshot_interval))
+    } else {
+        None
+    };
+    run_until(config, &mut cores, llc, config.warmup_accesses, false, warm_ctx.as_mut());
     let warmup_issued: u64 = cores.iter().map(|c| c.accesses).sum();
     llc.reset_stats();
     for c in &mut cores {
@@ -131,7 +191,12 @@ pub fn run_mix_on(config: &SimConfig, mix: &Mix, llc: &mut dyn SharedLlc) -> Sim
     }
 
     // Measurement stage.
-    run_until(config, &mut cores, llc, config.measure_accesses, true);
+    let mut meas_ctx = if telemetry {
+        Some(TeleCtx::new(&mut *sink, Stage::Measure, snapshot_interval))
+    } else {
+        None
+    };
+    run_until(config, &mut cores, llc, config.measure_accesses, true, meas_ctx.as_mut());
     let measured_issued: u64 = cores.iter().map(|c| c.accesses).sum();
     SIMULATED_ACCESSES.fetch_add(warmup_issued + measured_issued, Ordering::Relaxed);
 
@@ -151,11 +216,77 @@ pub fn run_mix_on(config: &SimConfig, mix: &Mix, llc: &mut dyn SharedLlc) -> Sim
             }
         })
         .collect();
-    SimResult {
+    let result = SimResult {
         scheme: llc.scheme_name(),
         mix: mix.name().to_string(),
         per_core,
         llc_totals: *llc.stats(),
+    };
+    if telemetry {
+        sink.record(&Event::RunEnd {
+            scheme: result.scheme.clone(),
+            ipcs: result.ipcs(),
+            per_core: result.per_core.iter().map(|c| c.llc).collect(),
+            totals: result.llc_totals,
+        });
+        llc.set_telemetry(false);
+    }
+    result
+}
+
+/// Per-stage telemetry bookkeeping threaded through [`run_until`]: counts
+/// issued accesses, snapshots cumulative LLC counters every `interval`,
+/// and forwards scheme-internal events (drained from the LLC) in stream
+/// order ahead of each snapshot.
+struct TeleCtx<'a> {
+    sink: &'a mut dyn EventSink,
+    stage: Stage,
+    interval: u64,
+    issued: u64,
+    epochs: u64,
+}
+
+impl<'a> TeleCtx<'a> {
+    fn new(sink: &'a mut dyn EventSink, stage: Stage, interval: u64) -> Self {
+        TeleCtx { sink, stage, interval, issued: 0, epochs: 0 }
+    }
+
+    /// Emits buffered scheme events followed by one cumulative counter
+    /// snapshot for the current stage.
+    fn snapshot(&mut self, llc: &mut dyn SharedLlc) {
+        for e in llc.drain_events() {
+            self.sink.record(&e);
+        }
+        self.sink.record(&Event::LlcEpoch {
+            stage: self.stage,
+            index: self.epochs,
+            accesses: self.issued,
+            per_core: llc.core_stats().to_vec(),
+            totals: *llc.stats(),
+        });
+        self.epochs += 1;
+    }
+
+    /// Called once per issued core access; snapshots on interval
+    /// boundaries.
+    fn on_access(&mut self, llc: &mut dyn SharedLlc) {
+        self.issued += 1;
+        if self.issued.is_multiple_of(self.interval) {
+            self.snapshot(llc);
+        }
+    }
+
+    /// Stage teardown: a final partial-epoch snapshot (when accesses were
+    /// issued since the last boundary), plus a drain so late scheme
+    /// events are never lost.
+    fn finish(&mut self, llc: &mut dyn SharedLlc) {
+        if !self.issued.is_multiple_of(self.interval) {
+            self.snapshot(llc);
+        } else {
+            for e in llc.drain_events() {
+                self.sink.record(&e);
+            }
+        }
     }
 }
 
@@ -168,6 +299,7 @@ fn run_until(
     llc: &mut dyn SharedLlc,
     target: u64,
     freeze: bool,
+    mut tele: Option<&mut TeleCtx<'_>>,
 ) {
     if target == 0 {
         return;
@@ -215,6 +347,9 @@ fn run_until(
         };
         core.clock.charge(access.gap, effective);
         core.accesses += 1;
+        if let Some(t) = tele.as_deref_mut() {
+            t.on_access(llc);
+        }
         if core.accesses == target {
             if freeze {
                 core.clock.freeze();
@@ -226,6 +361,9 @@ fn run_until(
             // done (the loop exits).
         }
         heap.push(Reverse((core.clock.cycles(), i)));
+    }
+    if let Some(t) = tele {
+        t.finish(llc);
     }
 }
 

@@ -1,8 +1,10 @@
 //! The evaluator: solo-run caching and normalized metrics.
 
 use crate::config::SimConfig;
-use crate::driver::{run_mix, run_solo, CoreResult, SimResult};
+use crate::driver::{run_mix, run_mix_telemetry, run_solo, CoreResult, SimResult};
 use crate::scheme::Scheme;
+use crate::telemetry::{stream_path, TelemetrySpec};
+use nucache_common::telemetry::JsonlSink;
 use nucache_cpu::MultiProgramMetrics;
 use nucache_trace::{Mix, SpecWorkload};
 use std::collections::HashMap;
@@ -27,13 +29,32 @@ use std::collections::HashMap;
 pub struct Evaluator {
     config: SimConfig,
     solo_cache: HashMap<SpecWorkload, CoreResult>,
+    telemetry: Option<TelemetrySpec>,
+    /// Next JSONL stream index (evaluators run serially, so a plain
+    /// counter suffices).
+    stream_index: usize,
 }
 
 impl Evaluator {
-    /// Creates an evaluator for a fixed system configuration.
+    /// Creates an evaluator for a fixed system configuration, picking up
+    /// the process-wide telemetry directory
+    /// ([`crate::telemetry::default_telemetry_dir`]) when one is active.
     pub fn new(config: SimConfig) -> Self {
         config.validate();
-        Evaluator { config, solo_cache: HashMap::new() }
+        let telemetry = TelemetrySpec::from_default_dir();
+        if telemetry.is_some() {
+            crate::telemetry::note_manifest_config(&config);
+        }
+        Evaluator { config, solo_cache: HashMap::new(), telemetry, stream_index: 0 }
+    }
+
+    /// Overrides telemetry recording: `Some(spec)` streams every
+    /// [`Evaluator::evaluate`] call into a per-run JSONL file under
+    /// `spec.dir`, `None` disables it (regardless of the process-wide
+    /// default).
+    pub fn with_telemetry(mut self, telemetry: Option<TelemetrySpec>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The system configuration in use.
@@ -65,9 +86,28 @@ impl Evaluator {
 
     /// Simulates `mix` under `scheme` and returns both the raw result and
     /// the normalized multiprogrammed metrics.
+    ///
+    /// With telemetry on, the run streams its events into a per-run
+    /// JSONL file; the result is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a telemetry stream cannot be created or written.
     pub fn evaluate(&mut self, mix: &Mix, scheme: &Scheme) -> (SimResult, MultiProgramMetrics) {
         let solo = self.solo_ipcs(mix);
-        let result = run_mix(&self.config, mix, scheme);
+        let result = if let Some(spec) = &self.telemetry {
+            let path = stream_path(&spec.dir, self.stream_index, mix.name(), &scheme.name());
+            self.stream_index += 1;
+            let mut sink = JsonlSink::create(&path)
+                .unwrap_or_else(|e| panic!("creating telemetry stream {}: {e}", path.display()));
+            let result =
+                run_mix_telemetry(&self.config, mix, scheme, spec.snapshot_interval, &mut sink);
+            sink.finish()
+                .unwrap_or_else(|e| panic!("writing telemetry stream {}: {e}", path.display()));
+            result
+        } else {
+            run_mix(&self.config, mix, scheme)
+        };
         let metrics = MultiProgramMetrics::new(&result.ipcs(), &solo);
         (result, metrics)
     }

@@ -12,7 +12,32 @@
 //! * [`SimConfig`] — the full system description (Table 1);
 //! * [`Scheme`] — which shared-LLC organization to instantiate;
 //! * [`run_mix`] — simulate one multiprogrammed mix under one scheme;
-//! * [`Evaluator`] — caches solo runs and computes normalized metrics.
+//! * [`Evaluator`] — caches solo runs and computes normalized metrics;
+//! * [`telemetry`] — JSONL event streams and run manifests.
+//!
+//! # Execution model: memoization and parallelism
+//!
+//! Experiment figures re-run the same simulations many times over — the
+//! same solo baselines normalize every scheme, and sweeps share their
+//! base points. Two layers keep that cheap without giving up determinism:
+//!
+//! * **Memoization.** [`Evaluator`] computes each workload's solo
+//!   (single-core, shared-LRU) run at most once per configuration and
+//!   reuses it for every normalized metric. Because all runs are
+//!   deterministic functions of `(config, mix, scheme)`, a memoized
+//!   result is indistinguishable from a fresh one.
+//! * **Parallelism.** [`Runner`] fans independent (mix, scheme) jobs out
+//!   across worker threads via [`parallel_map`], which preserves input
+//!   order in its output vector: results land in the same slots at any
+//!   `--jobs` value (or under [`set_default_jobs`] /`NUCACHE_JOBS`), so
+//!   emitted tables are bit-identical whether run serially or on every
+//!   core. Simulations share no mutable state — each job builds its own
+//!   LLC, trace generators and clocks.
+//!
+//! Telemetry keeps the same properties: each job writes its own JSONL
+//! stream (no shared writer), events carry no wall-clock timestamps, and
+//! the driver emits them at deterministic points (issued-access interval
+//! boundaries), so streams are reproducible byte-for-byte.
 //!
 //! # Examples
 //!
@@ -36,11 +61,16 @@ pub mod driver;
 pub mod evaluator;
 pub mod runner;
 pub mod scheme;
+pub mod telemetry;
 
 pub use config::SimConfig;
 pub use driver::{
-    run_mix, run_mix_nucache, run_mix_on, run_solo, take_simulated_accesses, CoreResult, SimResult,
+    run_mix, run_mix_nucache, run_mix_on, run_mix_on_sink, run_mix_telemetry, run_solo,
+    take_simulated_accesses, CoreResult, SimResult,
 };
 pub use evaluator::Evaluator;
 pub use runner::{default_jobs, parallel_map, set_default_jobs, Runner};
 pub use scheme::Scheme;
+pub use telemetry::{
+    default_telemetry_dir, set_default_telemetry_dir, write_manifest, Manifest, TelemetrySpec,
+};

@@ -32,8 +32,10 @@
 //! ```
 
 use crate::config::SimConfig;
-use crate::driver::{run_mix, run_solo, CoreResult, SimResult};
+use crate::driver::{run_mix, run_mix_telemetry, run_solo, CoreResult, SimResult};
 use crate::scheme::Scheme;
+use crate::telemetry::{stream_path, TelemetrySpec};
+use nucache_common::telemetry::JsonlSink;
 use nucache_cpu::MultiProgramMetrics;
 use nucache_trace::{Mix, SpecWorkload};
 use std::collections::HashMap;
@@ -143,19 +145,48 @@ pub struct Runner {
     config: SimConfig,
     jobs: usize,
     solo_cache: SoloCache,
+    telemetry: Option<TelemetrySpec>,
+    /// Next JSONL stream index — monotonic across `run_jobs` calls so a
+    /// multi-batch experiment never reuses a file name.
+    stream_index: AtomicUsize,
 }
 
 impl Runner {
-    /// Creates a runner for `config` with [`default_jobs`] workers.
+    /// Creates a runner for `config` with [`default_jobs`] workers,
+    /// picking up the process-wide telemetry directory
+    /// ([`crate::telemetry::default_telemetry_dir`]) when one is active.
     pub fn new(config: SimConfig) -> Self {
         config.validate();
-        Runner { config, jobs: default_jobs(), solo_cache: SoloCache::default() }
+        let telemetry = TelemetrySpec::from_default_dir();
+        if telemetry.is_some() {
+            crate::telemetry::note_manifest_config(&config);
+        }
+        Runner {
+            config,
+            jobs: default_jobs(),
+            solo_cache: SoloCache::default(),
+            telemetry,
+            stream_index: AtomicUsize::new(0),
+        }
     }
 
     /// Overrides the worker count (`0` is treated as `1`).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
         self
+    }
+
+    /// Overrides telemetry recording: `Some(spec)` streams every mix job
+    /// into per-job JSONL files under `spec.dir`, `None` disables it
+    /// (regardless of the process-wide default).
+    pub fn with_telemetry(mut self, telemetry: Option<TelemetrySpec>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The active telemetry spec, if recording is on.
+    pub const fn telemetry(&self) -> Option<&TelemetrySpec> {
+        self.telemetry.as_ref()
     }
 
     /// The worker count in use.
@@ -180,8 +211,34 @@ impl Runner {
 
     /// Simulates every (mix, scheme) job, fanning out over the worker
     /// pool; results are in job order.
+    ///
+    /// With telemetry on, each job additionally streams its events into
+    /// its own `NNN_mix__scheme.jsonl` file (no shared writer, so worker
+    /// count never affects stream contents); the simulation results are
+    /// identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a telemetry stream cannot be created or written.
     pub fn run_jobs(&self, jobs: &[(Mix, Scheme)]) -> Vec<SimResult> {
-        parallel_map(self.jobs, jobs, |(mix, scheme)| run_mix(&self.config, mix, scheme))
+        let Some(spec) = &self.telemetry else {
+            return parallel_map(self.jobs, jobs, |(mix, scheme)| {
+                run_mix(&self.config, mix, scheme)
+            });
+        };
+        let base = self.stream_index.fetch_add(jobs.len(), Ordering::Relaxed);
+        let indexed: Vec<(usize, &(Mix, Scheme))> =
+            jobs.iter().enumerate().map(|(i, job)| (base + i, job)).collect();
+        parallel_map(self.jobs, &indexed, |&(index, (mix, scheme))| {
+            let path = stream_path(&spec.dir, index, mix.name(), &scheme.name());
+            let mut sink = JsonlSink::create(&path)
+                .unwrap_or_else(|e| panic!("creating telemetry stream {}: {e}", path.display()));
+            let result =
+                run_mix_telemetry(&self.config, mix, scheme, spec.snapshot_interval, &mut sink);
+            sink.finish()
+                .unwrap_or_else(|e| panic!("writing telemetry stream {}: {e}", path.display()));
+            result
+        })
     }
 
     /// Evaluates the full `mixes` × `schemes` grid in parallel and
