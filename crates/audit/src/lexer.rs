@@ -1,0 +1,312 @@
+//! A minimal Rust source scanner.
+//!
+//! Produces, for each file, a *blanked* copy of the source in which
+//! comments, string literals and char literals are replaced by spaces
+//! (newlines preserved), so the lint passes can do plain substring
+//! matching without tripping over `"HashMap"` in a doc string. Comment
+//! text is not discarded entirely: `nucache-audit: allow(...)`
+//! suppression directives are parsed out of it.
+
+/// A suppression directive parsed from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-indexed line the directive appears on.
+    pub line: usize,
+    /// Lint name inside `allow(...)` / `allow-file(...)`.
+    pub lint: String,
+    /// Whether the directive covers the whole file (`allow-file`).
+    pub file_wide: bool,
+}
+
+/// The scanner's output for one file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Source with comments and string/char literals blanked to spaces.
+    /// Line structure is identical to the input.
+    pub blanked: String,
+    /// Suppression directives found in comments.
+    pub suppressions: Vec<Suppression>,
+    /// 1-indexed line of the first `#[cfg(test)]` attribute, if any.
+    /// Workspace convention keeps test modules at the end of the file, so
+    /// everything from this line on is treated as test code.
+    pub first_test_line: Option<usize>,
+}
+
+impl ScannedFile {
+    /// Lines of the blanked source, 1-indexed via `enumerate() + 1`.
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.blanked.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+
+    /// Whether `line` is inside the trailing test region.
+    pub fn is_test_code(&self, line: usize) -> bool {
+        self.first_test_line.is_some_and(|t| line >= t)
+    }
+
+    /// Whether `lint` is suppressed at `line` (same line, the line above,
+    /// or file-wide).
+    pub fn is_suppressed(&self, lint: &str, line: usize) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.lint == lint && (s.file_wide || s.line == line || s.line + 1 == line))
+    }
+}
+
+/// Parses suppression directives out of one comment's text.
+fn parse_directives(comment: &str, line: usize, out: &mut Vec<Suppression>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("nucache-audit:") {
+        rest = &rest[pos + "nucache-audit:".len()..];
+        let body = rest.trim_start();
+        for (prefix, file_wide) in [("allow-file(", true), ("allow(", false)] {
+            if let Some(inner) = body.strip_prefix(prefix) {
+                if let Some(end) = inner.find(')') {
+                    out.push(Suppression {
+                        line,
+                        lint: inner[..end].trim().to_string(),
+                        file_wide,
+                    });
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Scans `source`, blanking comments and literals and collecting
+/// suppression directives.
+///
+/// The lexer understands line and (nested) block comments, plain and raw
+/// strings (`r"…"`, `r#"…"#`, byte variants), char literals, and
+/// distinguishes lifetimes (`'a`) from char literals.
+pub fn scan(source: &str) -> ScannedFile {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut blanked = String::with_capacity(source.len());
+    let mut suppressions = Vec::new();
+    let mut first_test_line = None;
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Appends `c` to the blanked output, tracking line numbers.
+    macro_rules! keep {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                line += 1;
+            }
+            blanked.push(c);
+        }};
+    }
+    // Blanks `c`: newlines survive, everything else becomes a space.
+    macro_rules! blank {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                line += 1;
+                blanked.push('\n');
+            } else {
+                blanked.push(' ');
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            // Line comment: blank it, but harvest directives.
+            let start = i;
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            parse_directives(&text, line, &mut suppressions);
+            for _ in start..i {
+                blanked.push(' ');
+            }
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            // Block comment, possibly nested.
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            parse_directives(&text, start_line, &mut suppressions);
+            for c in text.chars() {
+                blank!(c);
+            }
+            continue;
+        }
+        if c == '"' {
+            blank!(c);
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' && i + 1 < bytes.len() {
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == '"' {
+                    blank!(bytes[i]);
+                    i += 1;
+                    break;
+                } else {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"…" / r#"…"# / br#"…"# — count the hashes.
+        if (c == 'r' || c == 'b') && !prev_is_ident(&bytes, i) {
+            if let Some((body_start, hashes)) = raw_string_start(&bytes, i) {
+                for &p in &bytes[i..body_start] {
+                    blank!(p);
+                }
+                i = body_start;
+                let closer: String =
+                    std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+                let rest: String = bytes[i..].iter().collect();
+                let end = rest.find(&closer).map_or(bytes.len(), |p| i + p + closer.len());
+                while i < end && i < bytes.len() {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        if c == '\'' {
+            // Lifetime or char literal. A lifetime is `'ident` not
+            // followed by a closing quote.
+            let is_lifetime = next.is_some_and(|n| n.is_alphanumeric() || n == '_')
+                && bytes.get(i + 2) != Some(&'\'');
+            if is_lifetime {
+                keep!(c);
+                i += 1;
+                continue;
+            }
+            blank!(c);
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' && i + 1 < bytes.len() {
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == '\'' {
+                    blank!(bytes[i]);
+                    i += 1;
+                    break;
+                } else {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if first_test_line.is_none() && c == '#' && source_has_cfg_test(&bytes, i) {
+            first_test_line = Some(line);
+        }
+        keep!(c);
+        i += 1;
+    }
+
+    ScannedFile { blanked, suppressions, first_test_line }
+}
+
+/// Whether the char before `i` can extend an identifier (so `r` in `for`
+/// is not a raw-string prefix).
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If a raw string starts at `i`, returns `(index after the opening
+/// quote, hash count)`.
+fn raw_string_start(bytes: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&'"')).then_some((j + 1, hashes))
+}
+
+/// Whether `#[cfg(test)]` (whitespace-tolerant) starts at byte `i`.
+fn source_has_cfg_test(bytes: &[char], i: usize) -> bool {
+    let window: String = bytes[i..bytes.len().min(i + 24)].iter().collect();
+    let squashed: String = window.chars().filter(|c| !c.is_whitespace()).collect();
+    squashed.starts_with("#[cfg(test)]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scan("let x = \"HashMap\"; // HashMap in comment\nlet y = HashMap::new();\n");
+        assert!(!s.blanked.lines().next().unwrap().contains("HashMap"));
+        assert!(s.blanked.lines().nth(1).unwrap().contains("HashMap"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n/* multi\nline */\nb\n";
+        let s = scan(src);
+        assert_eq!(s.blanked.lines().count(), src.lines().count());
+        assert_eq!(s.blanked.lines().nth(3).unwrap(), "b");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan("let x = r#\"Instant\"#; let t = Instant::now();\n");
+        let line = s.blanked.lines().next().unwrap();
+        assert_eq!(line.matches("Instant").count(), 1, "only the real token survives");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let q = HashMap;\n");
+        assert!(s.blanked.contains("HashMap"), "scanning must not derail after lifetimes");
+        assert!(!s.blanked.contains("'x'"));
+    }
+
+    #[test]
+    fn suppressions_are_parsed() {
+        let s = scan(
+            "// nucache-audit: allow(unwrap-in-lib) -- startup only\nfoo();\n\
+             // nucache-audit: allow-file(wall-clock-in-sim)\n",
+        );
+        assert!(s.is_suppressed("unwrap-in-lib", 1));
+        assert!(s.is_suppressed("unwrap-in-lib", 2), "next line is covered");
+        assert!(!s.is_suppressed("unwrap-in-lib", 3));
+        assert!(s.is_suppressed("wall-clock-in-sim", 999), "file-wide covers everything");
+    }
+
+    #[test]
+    fn test_region_detected() {
+        let s = scan("fn lib() {}\n#[cfg(test)]\nmod tests {}\n");
+        assert_eq!(s.first_test_line, Some(2));
+        assert!(!s.is_test_code(1));
+        assert!(s.is_test_code(3));
+    }
+}

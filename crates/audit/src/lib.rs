@@ -1,0 +1,39 @@
+//! Source-level lint pass for the NUcache workspace.
+//!
+//! `nucache-audit` walks every `.rs` file in the workspace and enforces a
+//! small set of project-specific invariants that `rustc`/`clippy` cannot
+//! express (or that clippy expresses only per-expression, where this
+//! project wants a curated, suppressible policy):
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `nondeterministic-iteration` | no bare `HashMap`/`HashSet` in simulator crates — iteration order leaks hasher state into results; use `BTreeMap`/`BTreeSet` or justify with a suppression |
+//! | `wall-clock-in-sim` | no `Instant`/`SystemTime` outside experiment binaries, benches and telemetry manifests — simulation results must never depend on wall time |
+//! | `forbid-unsafe-missing` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `lossy-cast-in-counters` | no truncating `as` casts to narrow integers in counter/stat/monitor arithmetic |
+//! | `unwrap-in-lib` | no new `.unwrap()`/`.expect()` in library code beyond the checked-in per-file allowlist |
+//!
+//! A finding can be suppressed at the site with a justification comment:
+//!
+//! ```text
+//! // nucache-audit: allow(wall-clock-in-sim) -- throughput banner only
+//! let t0 = std::time::Instant::now();
+//! ```
+//!
+//! (on the same line or the line above), or for a whole file with
+//! `allow-file(lint-name)`. The scanner is a self-contained lexer — no
+//! external dependencies — so the audit builds and runs offline even when
+//! the simulator crates themselves are broken.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod walk;
+
+pub use diag::{Diagnostic, Severity};
+pub use lexer::ScannedFile;
+pub use lints::{run_lints, Allowlist, LINTS};
+pub use walk::{classify, collect_rs_files, FileClass};

@@ -1,0 +1,132 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p nucache-audit                      # text diagnostics, exit 1 on violations
+//! cargo run -p nucache-audit -- --format json     # machine-readable, for CI
+//! cargo run -p nucache-audit -- --update-allowlist # rewrite crates/audit/allowlist.txt
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use nucache_audit::lints::{current_unwrap_counts, run_lints, Allowlist, LINTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Relative location of the unwrap allowlist inside the workspace.
+const ALLOWLIST_REL: &str = "crates/audit/allowlist.txt";
+
+fn usage() {
+    eprintln!(
+        "usage: nucache-audit [--format text|json] [--root PATH] [--update-allowlist]\n\nlints:"
+    );
+    for (name, rule) in LINTS {
+        eprintln!("  {name:<28} {rule}");
+    }
+    eprintln!(
+        "\nsuppress a finding with `// nucache-audit: allow(lint-name) -- reason` on the\n\
+         same line or the line above, or `allow-file(lint-name)` anywhere in the file."
+    );
+}
+
+fn main() -> ExitCode {
+    let mut format = String::from("text");
+    let mut root: Option<PathBuf> = None;
+    let mut update_allowlist = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => {
+                    eprintln!("error: --format takes `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root takes a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-allowlist" => update_allowlist = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default to the workspace root: this crate lives at crates/audit/.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    if update_allowlist {
+        return match current_unwrap_counts(&root) {
+            Ok(list) => {
+                let path = root.join(ALLOWLIST_REL);
+                match std::fs::write(&path, list.render()) {
+                    Ok(()) => {
+                        eprintln!("wrote {} entries to {}", list.entries.len(), path.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("error: writing {}: {e}", path.display());
+                        ExitCode::from(2)
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: scanning workspace: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let allowlist = match std::fs::read_to_string(root.join(ALLOWLIST_REL)) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(list) => list,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // Missing allowlist means an empty budget, not an error.
+        Err(_) => Allowlist::default(),
+    };
+
+    let diags = match run_lints(&root, &allowlist) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: scanning workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", nucache_audit::diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("nucache-audit: workspace clean ({} lints)", LINTS.len());
+        } else {
+            eprintln!("nucache-audit: {} violation(s)", diags.len());
+        }
+    }
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,8 +1,10 @@
 //! Raw tag storage: the `SetArray` every cache organization builds on.
 
+use crate::audit::ReferenceArray;
 use crate::config::CacheGeometry;
 use crate::meta::{EvictedLine, LineMeta};
 use nucache_common::{CoreId, LineAddr, Pc};
+use std::cell::Cell;
 
 /// Tag/metadata storage for a set-associative structure, with no
 /// replacement policy of its own.
@@ -51,6 +53,12 @@ pub struct SetArray {
     // Per-set bitmasks, bit `way` of `valid[set]` / `dirty[set]`.
     valid: Vec<u64>,
     dirty: Vec<u64>,
+    /// Differential oracle: when present, every operation is replayed on
+    /// this naive model and the answers compared (see [`crate::audit`]).
+    mirror: Option<Box<ReferenceArray>>,
+    /// Operations mirrored and checked so far. A `Cell` because the hot
+    /// probes (`find`, `get`, ...) take `&self`.
+    audit_ops: Cell<u64>,
 }
 
 impl SetArray {
@@ -61,14 +69,61 @@ impl SetArray {
     /// Panics if the associativity exceeds 64 (one mask word per set).
     pub fn new(geom: CacheGeometry) -> Self {
         assert!(geom.associativity() <= 64, "associativity above 64 unsupported");
-        SetArray {
+        #[allow(unused_mut)] // mut only needed under debug_invariants
+        let mut arr = SetArray {
             geom,
             tags: vec![0; geom.num_lines()],
             cores: vec![CoreId::new(0); geom.num_lines()],
             pcs: vec![Pc::new(0); geom.num_lines()],
             valid: vec![0; geom.num_sets()],
             dirty: vec![0; geom.num_sets()],
+            mirror: None,
+            audit_ops: Cell::new(0),
+        };
+        #[cfg(feature = "debug_invariants")]
+        arr.enable_audit();
+        arr
+    }
+
+    /// Enables differential auditing: a [`ReferenceArray`] is seeded from
+    /// the current contents and every subsequent operation is replayed on
+    /// it and cross-checked. Divergences panic at the faulting operation.
+    pub fn enable_audit(&mut self) {
+        let mut reference = Box::new(ReferenceArray::new(self.geom));
+        for set in 0..self.geom.num_sets() {
+            for way in 0..self.geom.associativity() {
+                if let Some(m) = self.get(set, way) {
+                    reference.fill(set, way, m);
+                }
+            }
         }
+        self.mirror = Some(reference);
+    }
+
+    /// Drops the audit mirror; operations stop being checked. The
+    /// [`SetArray::audit_ops`] counter is retained.
+    pub fn disable_audit(&mut self) {
+        self.mirror = None;
+    }
+
+    /// Whether the audit mirror is active.
+    pub fn audit_enabled(&self) -> bool {
+        self.mirror.is_some()
+    }
+
+    /// Operations mirrored into the reference model and compared so far.
+    pub fn audit_ops(&self) -> u64 {
+        self.audit_ops.get()
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn audit_read<T: PartialEq + std::fmt::Debug>(&self, op: &str, fast: &T, slow: &T) {
+        self.audit_ops.set(self.audit_ops.get() + 1);
+        assert!(
+            fast == slow,
+            "audit divergence in SetArray::{op}: soa={fast:?}, reference={slow:?}"
+        );
     }
 
     /// The geometry this array was built for.
@@ -110,28 +165,32 @@ impl SetArray {
             matches |= u64::from(self.tags[base + way] == tag) << way;
         }
         let hits = matches & self.valid[set];
-        if hits == 0 {
-            None
-        } else {
-            Some(hits.trailing_zeros() as usize)
+        let found = if hits == 0 { None } else { Some(hits.trailing_zeros() as usize) };
+        if let Some(m) = &self.mirror {
+            self.audit_read("find", &found, &m.find(set, tag));
         }
+        found
     }
 
     /// First invalid way in `set`, if any.
     #[inline]
     pub fn invalid_way(&self, set: usize) -> Option<usize> {
         let free = !self.valid[set] & self.full_mask();
-        if free == 0 {
-            None
-        } else {
-            Some(free.trailing_zeros() as usize)
+        let way = if free == 0 { None } else { Some(free.trailing_zeros() as usize) };
+        if let Some(m) = &self.mirror {
+            self.audit_read("invalid_way", &way, &m.invalid_way(set));
         }
+        way
     }
 
     /// Number of valid lines in `set`.
     #[inline]
     pub fn occupancy(&self, set: usize) -> usize {
-        self.valid[set].count_ones() as usize
+        let n = self.valid[set].count_ones() as usize;
+        if let Some(m) = &self.mirror {
+            self.audit_read("occupancy", &n, &m.occupancy(set));
+        }
+        n
     }
 
     /// Metadata at `(set, way)`, reassembled from the packed columns.
@@ -139,15 +198,22 @@ impl SetArray {
     pub fn get(&self, set: usize, way: usize) -> Option<LineMeta> {
         let bit = self.way_bit(set, way);
         if self.valid[set] & bit == 0 {
+            if let Some(m) = &self.mirror {
+                self.audit_read("get", &None, &m.get(set, way));
+            }
             return None;
         }
         let i = self.base(set) + way;
-        Some(LineMeta {
+        let meta = LineMeta {
             tag: self.tags[i],
             dirty: self.dirty[set] & bit != 0,
             core: self.cores[i],
             pc: self.pcs[i],
-        })
+        };
+        if let Some(m) = &self.mirror {
+            self.audit_read("get", &Some(meta), &m.get(set, way));
+        }
+        Some(meta)
     }
 
     /// Writes `meta` into `(set, way)`, returning the displaced line (as an
@@ -166,6 +232,10 @@ impl SetArray {
         } else {
             self.dirty[set] &= !bit;
         }
+        if let Some(m) = &mut self.mirror {
+            let slow = m.fill(set, way, meta);
+            self.audit_read("fill", &old, &slow);
+        }
         old
     }
 
@@ -175,6 +245,10 @@ impl SetArray {
         let bit = self.way_bit(set, way);
         self.valid[set] &= !bit;
         self.dirty[set] &= !bit;
+        if let Some(m) = &mut self.mirror {
+            let slow = m.invalidate(set, way);
+            self.audit_read("invalidate", &old, &slow);
+        }
         old
     }
 
@@ -188,20 +262,46 @@ impl SetArray {
         let bit = self.way_bit(set, way);
         assert!(self.valid[set] & bit != 0, "marking an invalid frame dirty");
         self.dirty[set] |= bit;
+        if let Some(m) = &mut self.mirror {
+            let slow_valid = m.get(set, way).is_some();
+            if slow_valid {
+                m.mark_dirty(set, way);
+            }
+            // The SoA assert above passed, so the reference must agree the
+            // frame is valid.
+            self.audit_read("mark_dirty", &true, &slow_valid);
+        }
     }
 
     /// Reconstructs the full line address of the line at `(set, way)`.
     pub fn line_addr(&self, set: usize, way: usize) -> Option<LineAddr> {
         let bit = self.way_bit(set, way);
-        if self.valid[set] & bit == 0 {
-            return None;
+        let addr = if self.valid[set] & bit == 0 {
+            None
+        } else {
+            Some(self.geom.line_of(self.tags[self.base(set) + way], set))
+        };
+        if let Some(m) = &self.mirror {
+            self.audit_read("line_addr", &addr, &m.line_addr(set, way));
         }
-        Some(self.geom.line_of(self.tags[self.base(set) + way], set))
+        addr
     }
 
     /// Total valid lines across all sets.
     pub fn total_occupancy(&self) -> usize {
-        self.valid.iter().map(|v| v.count_ones() as usize).sum()
+        let n = self.valid.iter().map(|v| v.count_ones() as usize).sum();
+        if let Some(m) = &self.mirror {
+            self.audit_read("total_occupancy", &n, &m.total_occupancy());
+        }
+        n
+    }
+
+    /// Test hook: writes a tag word directly, bypassing the audit mirror,
+    /// to prove the oracle catches a corrupted substrate.
+    #[cfg(test)]
+    pub(crate) fn corrupt_tag_for_test(&mut self, set: usize, way: usize, tag: u64) {
+        let i = self.base(set) + way;
+        self.tags[i] = tag;
     }
 
     fn to_evicted(&self, set: usize, m: LineMeta) -> EvictedLine {
@@ -308,5 +408,34 @@ mod tests {
     fn mark_dirty_requires_valid() {
         let (_, mut arr) = small();
         arr.mark_dirty(0, 0);
+    }
+
+    #[test]
+    fn audited_array_agrees_with_reference() {
+        let (_, mut arr) = small();
+        arr.fill(0, 3, meta(7)); // pre-audit state is seeded into the mirror
+        arr.enable_audit();
+        assert!(arr.audit_enabled());
+        assert_eq!(arr.find(0, 7), Some(3));
+        arr.fill(1, 0, meta(5));
+        arr.mark_dirty(1, 0);
+        let ev = arr.invalidate(1, 0).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(arr.invalid_way(1), Some(0));
+        assert_eq!(arr.occupancy(0), 1);
+        assert_eq!(arr.total_occupancy(), 1);
+        assert!(arr.audit_ops() > 0, "mirror comparisons must have run");
+        arr.disable_audit();
+        assert!(!arr.audit_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "audit divergence in SetArray::find")]
+    fn audit_catches_corrupted_tag() {
+        let (_, mut arr) = small();
+        arr.enable_audit();
+        arr.fill(0, 0, meta(7));
+        arr.corrupt_tag_for_test(0, 0, 9); // bypasses the mirror
+        let _ = arr.find(0, 9); // SoA says hit, reference says miss
     }
 }

@@ -67,6 +67,16 @@ impl<P: ReplacementPolicy> BasicCache<P> {
         &self.array
     }
 
+    /// Enables or disables the differential audit mirror on the tag array
+    /// (see [`crate::audit`]).
+    pub fn set_audit(&mut self, enabled: bool) {
+        if enabled {
+            self.array.enable_audit();
+        } else {
+            self.array.disable_audit();
+        }
+    }
+
     /// Performs one demand access, filling on a miss.
     pub fn access(
         &mut self,

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod audit;
 pub mod basic;
 pub mod config;
 pub mod dueling;
@@ -48,6 +49,7 @@ pub mod shadow;
 pub mod stackdist;
 
 pub use array::SetArray;
+pub use audit::{AuditStats, ReferenceArray};
 pub use basic::BasicCache;
 pub use config::CacheGeometry;
 pub use llc::{ClassicLlc, SharedLlc};

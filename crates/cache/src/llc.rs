@@ -1,5 +1,6 @@
 //! The shared-LLC interface and the classic (policy-only) organization.
 
+use crate::audit::AuditStats;
 use crate::basic::BasicCache;
 use crate::config::CacheGeometry;
 use crate::meta::AccessOutcome;
@@ -55,6 +56,25 @@ pub trait SharedLlc {
     /// scheme internals never need a direct sink reference.
     fn drain_events(&mut self) -> Vec<Event> {
         Vec::new()
+    }
+
+    /// Enables (or disables) the differential audit oracle: while enabled,
+    /// every tag-array operation is mirrored into a naive
+    /// [`ReferenceArray`](crate::audit::ReferenceArray) and cross-checked,
+    /// and organizations with epoch-level state (NUcache) additionally
+    /// verify their epoch invariants. Divergences panic at the faulting
+    /// operation.
+    ///
+    /// The default is a no-op so that scheme wrappers without direct array
+    /// access keep compiling; every organization in this workspace
+    /// overrides it.
+    fn set_audit(&mut self, _enabled: bool) {}
+
+    /// Work counters of the audit oracle: `Some` with the number of
+    /// mirrored operations and epoch checks when auditing is enabled,
+    /// `None` when it is off or unsupported.
+    fn audit_stats(&self) -> Option<AuditStats> {
+        None
     }
 }
 
@@ -130,6 +150,17 @@ impl<P: ReplacementPolicy> SharedLlc for ClassicLlc<P> {
     fn scheme_name(&self) -> String {
         self.cache.policy().name().to_string()
     }
+
+    fn set_audit(&mut self, enabled: bool) {
+        self.cache.set_audit(enabled);
+    }
+
+    fn audit_stats(&self) -> Option<AuditStats> {
+        self.cache
+            .array()
+            .audit_enabled()
+            .then(|| AuditStats { array_ops: self.cache.array().audit_ops(), epoch_checks: 0 })
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +203,23 @@ mod tests {
     fn zero_cores_rejected() {
         let g = CacheGeometry::new(1024, 2, 64);
         let _ = ClassicLlc::new(g, Lru::new(&g), 0);
+    }
+
+    #[test]
+    fn audited_classic_llc_counts_checks() {
+        let mut l = llc();
+        // Constructors auto-enable auditing under debug_invariants; start
+        // from a known-off state either way.
+        l.set_audit(false);
+        assert_eq!(l.audit_stats(), None);
+        l.set_audit(true);
+        for n in 0..32 {
+            l.access(CoreId::new(0), Pc::new(1), LineAddr::new(n), AccessKind::Read);
+        }
+        let stats = l.audit_stats().expect("auditing is on");
+        assert!(stats.array_ops > 0);
+        l.set_audit(false);
+        assert_eq!(l.audit_stats(), None);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 
 use crate::config::CacheGeometry;
 use nucache_common::{CacheStats, LineAddr};
+// nucache-audit: allow-file(nondeterministic-iteration) -- OPT oracle maps are
+// lookup-only (insert/get/remove by key); nothing iterates them, so hasher
+// state cannot reach the results.
 use std::collections::HashMap;
 
 /// Result of an OPT simulation.

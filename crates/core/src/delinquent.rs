@@ -8,7 +8,7 @@
 //! newly hot PC (a standard victim-replacement counter table).
 
 use nucache_common::Pc;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-PC miss counters with bounded capacity and epoch decay.
 ///
@@ -29,7 +29,10 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct DelinquentTracker {
     capacity: usize,
-    misses: HashMap<Pc, u64>,
+    /// Keyed by PC in a `BTreeMap` so every iteration (victim scan,
+    /// top-k) visits entries in PC order — tie-breaks are deterministic
+    /// by construction, never a function of hasher state.
+    misses: BTreeMap<Pc, u64>,
     total_misses: u64,
 }
 
@@ -41,7 +44,7 @@ impl DelinquentTracker {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "zero capacity");
-        DelinquentTracker { capacity, misses: HashMap::new(), total_misses: 0 }
+        DelinquentTracker { capacity, misses: BTreeMap::new(), total_misses: 0 }
     }
 
     /// Records one miss caused by `pc`.
@@ -52,11 +55,13 @@ impl DelinquentTracker {
             return;
         }
         if self.misses.len() >= self.capacity {
-            // Reclaim the weakest entry (deterministic tie-break on PC).
+            // Reclaim the weakest entry; BTreeMap iteration is in PC order
+            // and min_by_key keeps the first minimum, so equal counts
+            // resolve to the lowest PC.
             let victim = self
                 .misses
                 .iter()
-                .min_by_key(|(p, c)| (**c, p.0))
+                .min_by_key(|&(_, c)| *c)
                 .map(|(p, _)| *p)
                 .expect("non-empty map at capacity");
             self.misses.remove(&victim);

@@ -1,14 +1,14 @@
 //! The NUcache LLC organization: MainWays + DeliWays.
 
-use crate::config::NuCacheConfig;
+use crate::config::{NuCacheConfig, SelectionStrategy};
 use crate::delinquent::DelinquentTracker;
 use crate::monitor::NextUseMonitor;
-use crate::selector::{build_candidates, select_pcs, Selection};
+use crate::selector::{build_candidates, evaluate_chosen, select_pcs, Candidate, Selection};
 use nucache_cache::meta::{AccessOutcome, EvictedLine, LineMeta};
-use nucache_cache::{CacheGeometry, SetArray, SharedLlc};
+use nucache_cache::{AuditStats, CacheGeometry, SetArray, SharedLlc};
 use nucache_common::telemetry::{Event, PcSnapshot};
 use nucache_common::{AccessKind, CacheStats, CoreId, LineAddr, Pc};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Candidate PCs included per [`Event::SelectionEpoch`] snapshot; enough
 /// to cover every realistic chosen set (DeliWays ≤ 16) with headroom for
@@ -49,8 +49,10 @@ pub struct NuCache {
     /// DeliWays insertions per PC this window: a retained PC stops
     /// missing, so its continued delinquency (and its true FIFO
     /// pressure) shows up here rather than in the miss tracker.
-    deli_fills_by_pc: std::collections::HashMap<Pc, u64>,
-    chosen: HashSet<Pc>,
+    /// PC-ordered so the candidate merge in [`NuCache::combined_fills`]
+    /// never depends on hasher state.
+    deli_fills_by_pc: BTreeMap<Pc, u64>,
+    chosen: BTreeSet<Pc>,
     last_selection: Selection,
     /// Global accesses in the current decay window — the denominator the
     /// fill-rate (lifetime) estimate pairs with the fill counts. Counted
@@ -70,6 +72,30 @@ pub struct NuCache {
     /// branch per epoch.
     telemetry: bool,
     pending_events: Vec<Event>,
+    /// Epoch-invariant oracle state; `Some` while auditing is enabled
+    /// (which also turns on the tag array's reference mirror).
+    audit: Option<EpochAudit>,
+}
+
+/// Counter snapshots for the audit oracle's monotonicity checks.
+///
+/// Each field records the value at the last check; counters must never
+/// decrease between checks within an epoch. The decay at each selection
+/// epoch (and an explicit stats reset) legitimately shrinks them, so both
+/// paths refresh the snapshot via [`NuCache::audit_snapshot`].
+#[derive(Debug, Clone, Default)]
+struct EpochAudit {
+    accesses: u64,
+    deli_hits: u64,
+    deli_fills: u64,
+    window_accesses: u64,
+    recorded: u64,
+    matched: u64,
+    /// Monitor counters at the start of the current decay window, for the
+    /// bounded matched-vs-recorded check.
+    window_recorded: u64,
+    window_matched: u64,
+    epoch_checks: u64,
 }
 
 impl NuCache {
@@ -83,7 +109,8 @@ impl NuCache {
         assert!(num_cores > 0, "need at least one core");
         config.validate(geom.associativity());
         let main_ways = geom.associativity() - config.deli_ways;
-        NuCache {
+        #[allow(unused_mut)] // mut only needed under debug_invariants
+        let mut llc = NuCache {
             array: SetArray::new(geom),
             main_ways,
             deli_ways: config.deli_ways,
@@ -94,8 +121,8 @@ impl NuCache {
                 config.histogram_buckets,
             ),
             tracker: DelinquentTracker::new(256.max(config.max_candidates)),
-            deli_fills_by_pc: std::collections::HashMap::new(),
-            chosen: HashSet::new(),
+            deli_fills_by_pc: BTreeMap::new(),
+            chosen: BTreeSet::new(),
             last_selection: Selection { chosen: Vec::new(), expected_hits: 0, extra_lifetime: 0 },
             window_accesses: 0,
             main_touch: vec![0; geom.num_lines()],
@@ -110,7 +137,136 @@ impl NuCache {
             core_stats: vec![CacheStats::default(); num_cores],
             telemetry: false,
             pending_events: Vec::new(),
+            audit: None,
+        };
+        #[cfg(feature = "debug_invariants")]
+        llc.enable_audit();
+        llc
+    }
+
+    /// Enables the differential audit oracle: the tag array mirrors every
+    /// operation into a naive reference model
+    /// ([`nucache_cache::audit::ReferenceArray`]) and each selection epoch
+    /// verifies NUcache's invariants (DeliWays occupancy within capacity,
+    /// monotone counters, selection objective reproducible from the
+    /// candidates). Violations panic at the faulting operation.
+    pub fn enable_audit(&mut self) {
+        self.array.enable_audit();
+        self.audit = Some(EpochAudit::default());
+        self.audit_snapshot();
+    }
+
+    /// Disables the audit oracle and drops its mirror state.
+    pub fn disable_audit(&mut self) {
+        self.array.disable_audit();
+        self.audit = None;
+    }
+
+    /// Refreshes the oracle's counter snapshots to the current values
+    /// (after the epoch decay or a stats reset, which legitimately move
+    /// counters backwards).
+    fn audit_snapshot(&mut self) {
+        let accesses = self.stats.accesses();
+        let (dh, df, wa) = (self.deli_hits, self.deli_fills, self.window_accesses);
+        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
+        if let Some(a) = &mut self.audit {
+            a.accesses = accesses;
+            a.deli_hits = dh;
+            a.deli_fills = df;
+            a.window_accesses = wa;
+            a.recorded = rec;
+            a.matched = mat;
+            a.window_recorded = rec;
+            a.window_matched = mat;
         }
+    }
+
+    /// Per-access oracle checks: counters monotone since the last check
+    /// and per-core attribution consistent with the aggregate.
+    #[cold]
+    #[inline(never)]
+    fn audit_access_check(&mut self) {
+        let (hits, misses) = (self.stats.hits, self.stats.misses);
+        let core_hits: u64 = self.core_stats.iter().map(|c| c.hits).sum();
+        let core_misses: u64 = self.core_stats.iter().map(|c| c.misses).sum();
+        let (dh, df, wa) = (self.deli_hits, self.deli_fills, self.window_accesses);
+        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
+        let Some(a) = &mut self.audit else { return };
+        assert_eq!(
+            (core_hits, core_misses),
+            (hits, misses),
+            "audit: per-core counters must sum to the aggregate"
+        );
+        assert!(dh <= hits, "audit: DeliWays hits ({dh}) exceed total hits ({hits})");
+        assert!(
+            hits + misses >= a.accesses,
+            "audit: access counter moved backwards within an epoch"
+        );
+        assert!(
+            dh >= a.deli_hits && df >= a.deli_fills,
+            "audit: DeliWays counters moved backwards within an epoch"
+        );
+        assert!(
+            wa >= a.window_accesses,
+            "audit: window access counter moved backwards within an epoch"
+        );
+        assert!(
+            rec >= a.recorded && mat >= a.matched,
+            "audit: monitor counters moved backwards within an epoch"
+        );
+        a.accesses = hits + misses;
+        a.deli_hits = dh;
+        a.deli_fills = df;
+        a.window_accesses = wa;
+        a.recorded = rec;
+        a.matched = mat;
+    }
+
+    /// Epoch-boundary oracle checks, run after selection but before the
+    /// decay so occupancy and monitor state are what the selector saw.
+    fn audit_epoch_check(&mut self, candidates: &[Candidate]) {
+        let capacity = (self.deli_ways * self.array.geometry().num_sets()) as u64;
+        let occ = self.deli_occupancy();
+        assert!(occ <= capacity, "audit: DeliWays occupancy {occ} exceeds capacity {capacity}");
+        let from_selection: BTreeSet<Pc> = self.last_selection.chosen.iter().copied().collect();
+        assert!(
+            self.chosen == from_selection,
+            "audit: admitted PC set {:?} disagrees with the selection {:?}",
+            self.chosen,
+            self.last_selection.chosen
+        );
+        // The analytic strategies report an objective value; re-deriving it
+        // for the chosen set from the same candidates must reproduce it.
+        let analytic = matches!(
+            self.config.strategy,
+            SelectionStrategy::CostBenefit | SelectionStrategy::Exhaustive
+        );
+        if analytic && !self.last_selection.chosen.is_empty() {
+            let recomputed = evaluate_chosen(
+                candidates,
+                &self.last_selection.chosen,
+                self.deli_ways,
+                self.window_accesses.max(1),
+            );
+            assert_eq!(
+                recomputed,
+                Some((self.last_selection.expected_hits, self.last_selection.extra_lifetime)),
+                "audit: selection objective not reproducible from the candidates"
+            );
+        }
+        // Every monitor match consumes a buffered eviction recorded either
+        // in this decay window or already buffered when it started.
+        let buffer_cap = (self.config.monitor_depth * self.monitor.sampled_sets()) as u64;
+        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
+        let a = self.audit.as_mut().expect("epoch check runs only while auditing");
+        let window_matched = mat.saturating_sub(a.window_matched);
+        let window_recorded = rec.saturating_sub(a.window_recorded);
+        assert!(
+            window_matched <= window_recorded + buffer_cap,
+            "audit: {window_matched} monitor matches cannot come from {window_recorded} \
+             recorded evictions plus a buffer of {buffer_cap}"
+        );
+        a.epoch_checks += 1;
     }
 
     /// Number of MainWays per set.
@@ -169,7 +325,7 @@ impl NuCache {
     /// per PC, descending — the quantity candidate ranking and the
     /// lifetime cost model use. Exposed for diagnostics and tests.
     pub fn combined_fills(&self) -> Vec<(Pc, u64)> {
-        let mut combined: std::collections::HashMap<Pc, u64> = self.deli_fills_by_pc.clone();
+        let mut combined: BTreeMap<Pc, u64> = self.deli_fills_by_pc.clone();
         for (pc, misses) in self.tracker.top_k(self.tracker.len()) {
             *combined.entry(pc).or_insert(0) += misses;
         }
@@ -251,7 +407,7 @@ impl NuCache {
         // FIFO pressure. Without the combination, successfully retained
         // PCs stop missing, vanish from the candidate list and selection
         // oscillates.
-        let mut combined: std::collections::HashMap<Pc, u64> = self.deli_fills_by_pc.clone();
+        let mut combined: BTreeMap<Pc, u64> = self.deli_fills_by_pc.clone();
         for (pc, misses) in self.tracker.top_k(self.tracker.len()) {
             *combined.entry(pc).or_insert(0) += misses;
         }
@@ -274,6 +430,9 @@ impl NuCache {
         if self.telemetry {
             self.pending_events.push(self.selection_snapshot(&top));
         }
+        if self.audit.is_some() {
+            self.audit_epoch_check(&candidates);
+        }
         self.tracker.decay();
         self.monitor.decay();
         self.deli_fills_by_pc.retain(|_, c| {
@@ -281,6 +440,9 @@ impl NuCache {
             *c > 0
         });
         self.window_accesses /= 2;
+        if self.audit.is_some() {
+            self.audit_snapshot();
+        }
     }
 
     /// Valid lines currently resident in the DeliWays across all sets.
@@ -387,6 +549,9 @@ impl SharedLlc for NuCache {
                     self.touch_main(set, mv);
                 }
             }
+            if self.audit.is_some() {
+                self.audit_access_check();
+            }
             return AccessOutcome::Hit;
         }
 
@@ -411,6 +576,9 @@ impl SharedLlc for NuCache {
         if let Some(ev) = leaving {
             self.stats.record_eviction(ev.dirty);
         }
+        if self.audit.is_some() {
+            self.audit_access_check();
+        }
         AccessOutcome::Miss { evicted: leaving }
     }
 
@@ -427,6 +595,9 @@ impl SharedLlc for NuCache {
         self.core_stats.iter_mut().for_each(CacheStats::clear);
         self.deli_hits = 0;
         self.deli_fills = 0;
+        if self.audit.is_some() {
+            self.audit_snapshot();
+        }
     }
 
     fn geometry(&self) -> &CacheGeometry {
@@ -446,6 +617,20 @@ impl SharedLlc for NuCache {
 
     fn drain_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.pending_events)
+    }
+
+    fn set_audit(&mut self, enabled: bool) {
+        if enabled {
+            self.enable_audit();
+        } else {
+            self.disable_audit();
+        }
+    }
+
+    fn audit_stats(&self) -> Option<AuditStats> {
+        self.audit
+            .as_ref()
+            .map(|a| AuditStats { array_ops: self.array.audit_ops(), epoch_checks: a.epoch_checks })
     }
 }
 
@@ -693,6 +878,55 @@ mod tests {
         assert_eq!(llc.stats().accesses(), 0);
         assert_eq!(llc.deli_hits(), 0);
         assert_eq!(llc.epochs(), epochs, "selection state survives reset");
+    }
+
+    #[test]
+    fn audited_run_checks_epochs_and_matches_unaudited() {
+        let mut config = test_config(4);
+        config.epoch_len = 500;
+        let run = |audit: bool| {
+            let mut llc = NuCache::new(geom(16, 8), 1, config);
+            if audit {
+                llc.enable_audit();
+            } else {
+                // With the debug_invariants feature on, constructors
+                // auto-enable auditing; this arm wants a truly plain run.
+                llc.disable_audit();
+            }
+            for n in 0..10_000u64 {
+                read(&mut llc, 1 + n % 3, n % 90);
+            }
+            let summary = (llc.stats().hits, llc.stats().misses, llc.deli_hits(), llc.chosen_pcs());
+            (summary, llc.audit_stats())
+        };
+        let (plain, none) = run(false);
+        let (audited, stats) = run(true);
+        assert_eq!(none, None);
+        assert_eq!(plain, audited, "auditing must not perturb simulation results");
+        let stats = stats.expect("auditing was on");
+        assert!(stats.array_ops > 0, "array mirror must have been exercised");
+        assert!(stats.epoch_checks > 0, "epoch invariants must have been checked");
+    }
+
+    #[test]
+    fn disable_audit_stops_checking() {
+        let mut llc = NuCache::new(geom(16, 4), 1, test_config(2));
+        llc.enable_audit();
+        read(&mut llc, 1, 5);
+        assert!(llc.audit_stats().is_some());
+        llc.disable_audit();
+        assert_eq!(llc.audit_stats(), None);
+        read(&mut llc, 1, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "audit: DeliWays hits")]
+    fn audit_catches_corrupted_counter() {
+        let mut llc = NuCache::new(geom(16, 4), 1, test_config(2));
+        llc.enable_audit();
+        read(&mut llc, 1, 5);
+        llc.deli_hits = 10_000; // corrupt: more deli hits than total hits
+        read(&mut llc, 1, 5);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! count is recorded into the evicting PC's log2 histogram.
 
 use nucache_common::{LineAddr, Log2Histogram, Pc};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One buffered eviction awaiting its next use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +62,10 @@ pub struct NextUseMonitor {
     depth: usize,
     buckets: usize,
     sets: Vec<SetMonitor>,
-    histograms: HashMap<Pc, Log2Histogram>,
+    /// Per-PC histograms in a `BTreeMap`: consumers iterate these when
+    /// building selection candidates, and PC-ordered traversal keeps the
+    /// whole selection pipeline independent of hasher state.
+    histograms: BTreeMap<Pc, Log2Histogram>,
     /// Total accesses observed in sampled sets (rate denominators).
     sampled_accesses: u64,
     /// Evictions recorded / matched (monitor effectiveness stats).
@@ -89,7 +92,7 @@ impl NextUseMonitor {
             depth,
             buckets,
             sets: (0..sampled).map(|_| SetMonitor::new(depth)).collect(),
-            histograms: HashMap::new(),
+            histograms: BTreeMap::new(),
             sampled_accesses: 0,
             recorded: 0,
             matched: 0,
@@ -152,8 +155,8 @@ impl NextUseMonitor {
         self.histograms.get(&pc)
     }
 
-    /// All per-PC histograms.
-    pub fn histograms(&self) -> &HashMap<Pc, Log2Histogram> {
+    /// All per-PC histograms, in PC order.
+    pub fn histograms(&self) -> &BTreeMap<Pc, Log2Histogram> {
         &self.histograms
     }
 

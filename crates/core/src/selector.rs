@@ -15,7 +15,7 @@
 
 use crate::config::SelectionStrategy;
 use nucache_common::{DetRng, Log2Histogram, Pc};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One candidate PC presented to the selector.
 #[derive(Debug, Clone)]
@@ -66,6 +66,28 @@ fn expected_hits(
     let hits =
         idx.iter().map(|&i| candidates[i].histogram.as_ref().map_or(0, |h| h.count_le(life))).sum();
     (hits, life)
+}
+
+/// Recomputes the selection objective for an explicit chosen PC set.
+///
+/// The audit oracle uses this to cross-check a [`Selection`] produced by
+/// the analytic strategies: re-deriving `(expected_hits, extra_lifetime)`
+/// for `selection.chosen` from the same candidates must reproduce the
+/// values the strategy reported.
+///
+/// Returns `None` when a chosen PC is not among the candidates (itself an
+/// invariant violation the caller reports).
+pub fn evaluate_chosen(
+    candidates: &[Candidate],
+    chosen: &[Pc],
+    deli_ways: usize,
+    accesses: u64,
+) -> Option<(u64, u64)> {
+    let idx: Vec<usize> = chosen
+        .iter()
+        .map(|pc| candidates.iter().position(|c| c.pc == *pc))
+        .collect::<Option<_>>()?;
+    Some(expected_hits(candidates, &idx, deli_ways, accesses))
 }
 
 /// Runs the configured selection strategy.
@@ -198,7 +220,7 @@ fn exhaustive(candidates: &[Candidate], deli_ways: usize, accesses: u64) -> Sele
 /// histograms (the glue the LLC organization uses each epoch).
 pub fn build_candidates(
     top: &[(Pc, u64)],
-    histograms: &HashMap<Pc, Log2Histogram>,
+    histograms: &BTreeMap<Pc, Log2Histogram>,
 ) -> Vec<Candidate> {
     top.iter()
         .map(|&(pc, fills)| Candidate { pc, fills, histogram: histograms.get(&pc).cloned() })
@@ -305,7 +327,7 @@ mod tests {
 
     #[test]
     fn build_candidates_joins_tracker_and_monitor() {
-        let mut hists = HashMap::new();
+        let mut hists = BTreeMap::new();
         let mut h = Log2Histogram::new(16);
         h.record(9);
         hists.insert(Pc::new(1), h);
@@ -314,6 +336,22 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c[0].histogram.is_some());
         assert!(c[1].histogram.is_none());
+    }
+
+    #[test]
+    fn evaluate_chosen_reproduces_selection_objective() {
+        let c = vec![
+            cand(1, 800, hist(100, 700)),
+            cand(2, 1200, hist(300, 900)),
+            cand(4, 300, hist(40, 250)),
+        ];
+        let sel = select_pcs(&c, 8, 200_000, SelectionStrategy::CostBenefit, 0);
+        assert!(!sel.chosen.is_empty());
+        assert_eq!(
+            evaluate_chosen(&c, &sel.chosen, 8, 200_000),
+            Some((sel.expected_hits, sel.extra_lifetime))
+        );
+        assert_eq!(evaluate_chosen(&c, &[Pc::new(99)], 8, 200_000), None, "unknown PC");
     }
 
     #[test]

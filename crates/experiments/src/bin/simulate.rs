@@ -10,7 +10,10 @@
 //! `--scheme` accepts `lru`, `dip`, `drrip`, `tadip`, `ucp`, `pipp`,
 //! `nucache`. `--workloads` is a comma-separated list with one entry per
 //! core (defaults cycle the roster). `--normalize` also runs the solo
-//! baselines and reports weighted speedup / ANTT.
+//! baselines and reports weighted speedup / ANTT. `--audit` runs the
+//! differential invariant oracle alongside the simulation: every
+//! tag-array operation is mirrored into a naive reference model and
+//! NUcache's epoch invariants are checked; any divergence aborts the run.
 
 use nucache_cache::CacheGeometry;
 use nucache_common::table::{f2, f3, Table};
@@ -29,7 +32,7 @@ fn run() -> Result<(), String> {
         println!(
             "options: --cores N --scheme NAME --workloads a,b,... --llc-mb N \
              --warmup N --measure N --seed N --deli-ways N --epoch N --normalize --jobs N \
-             --telemetry DIR --help"
+             --telemetry DIR --audit --help"
         );
         return Ok(());
     }
@@ -38,14 +41,18 @@ fn run() -> Result<(), String> {
         return Err("--cores must be in 1..=64".into());
     }
     let scheme_name = args.get_or("scheme", "nucache").to_string();
-    let warmup: u64 = args.get_num("warmup", 300_000).map_err(|e| e.to_string())?;
-    let measure: u64 = args.get_num("measure", 1_000_000).map_err(|e| e.to_string())?;
+    // NUCACHE_QUICK=1 shrinks the default run lengths (explicit --warmup
+    // / --measure always win).
+    let (default_warmup, default_measure) = nucache_experiments::run_lengths();
+    let warmup: u64 = args.get_num("warmup", default_warmup).map_err(|e| e.to_string())?;
+    let measure: u64 = args.get_num("measure", default_measure).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_num("seed", 0x5eed_2011).map_err(|e| e.to_string())?;
     let llc_mb: u64 = args.get_num("llc-mb", cores as u64).map_err(|e| e.to_string())?;
     let deli: usize = args.get_num("deli-ways", 8).map_err(|e| e.to_string())?;
     let epoch: u64 = args.get_num("epoch", 100_000).map_err(|e| e.to_string())?;
     let workloads_arg = args.get_or("workloads", "").to_string();
     let normalize = args.flag("normalize");
+    let audit = args.flag("audit");
     let jobs: usize = args.get_num("jobs", 0).map_err(|e| e.to_string())?;
     let telemetry = args.get_or("telemetry", "").to_string();
     args.reject_unknown().map_err(|e| e.to_string())?;
@@ -95,9 +102,32 @@ fn run() -> Result<(), String> {
         .with_seed(seed);
     let mix = Mix::new("cli", workloads);
 
+    if audit && normalize {
+        return Err("--audit and --normalize cannot be combined (audit one run at a time)".into());
+    }
+
     println!("scheme={scheme} cores={cores} llc={llc_mb}MB warmup={warmup} measure={measure}\n");
     let mut t = Table::new(["core", "workload", "ipc", "llc_mpki", "llc_hit_rate"]);
-    if normalize {
+    if audit {
+        // A completed audited run means zero divergences: the oracle
+        // panics at the first disagreement with the reference model.
+        let (result, stats) = nucache_sim::run_mix_audited(&config, &mix, &scheme);
+        for (i, c) in result.per_core.iter().enumerate() {
+            t.row([
+                i.to_string(),
+                c.workload.clone(),
+                f3(c.ipc),
+                f2(c.llc_mpki),
+                f2(c.llc.hit_rate()),
+            ]);
+        }
+        print!("{}", t.to_text());
+        println!("\nLLC totals: {}", result.llc_totals);
+        println!(
+            "audit: {} array ops mirrored, {} epoch checks, 0 divergences",
+            stats.array_ops, stats.epoch_checks
+        );
+    } else if normalize {
         // The runner computes the mix run and the per-workload solo
         // baselines concurrently.
         let runner = Runner::new(config);

@@ -1,4 +1,5 @@
 //! `run_all` lives in bin/; this main delegates there for `cargo run -p nucache-experiments`.
+#![forbid(unsafe_code)]
 fn main() {
     eprintln!("use the per-figure binaries, e.g. `cargo run --release -p nucache-experiments --bin fig5_dual_core`");
 }

@@ -12,7 +12,7 @@
 use crate::lookahead::lookahead_partition;
 use nucache_cache::meta::{AccessOutcome, LineMeta};
 use nucache_cache::shadow::UtilityMonitor;
-use nucache_cache::{CacheGeometry, SetArray, SharedLlc};
+use nucache_cache::{AuditStats, CacheGeometry, SetArray, SharedLlc};
 use nucache_common::{AccessKind, CacheStats, CoreId, DetRng, LineAddr, Pc};
 
 /// Single-step promotion probability on a hit (value from the original
@@ -197,6 +197,20 @@ impl SharedLlc for PippLlc {
 
     fn scheme_name(&self) -> String {
         "pipp".to_string()
+    }
+
+    fn set_audit(&mut self, enabled: bool) {
+        if enabled {
+            self.array.enable_audit();
+        } else {
+            self.array.disable_audit();
+        }
+    }
+
+    fn audit_stats(&self) -> Option<AuditStats> {
+        self.array
+            .audit_enabled()
+            .then(|| AuditStats { array_ops: self.array.audit_ops(), epoch_checks: 0 })
     }
 }
 

@@ -5,7 +5,7 @@
 //! unknown keys are errors so typos do not silently fall back to
 //! defaults.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Error produced when parsing command-line arguments fails.
@@ -23,7 +23,10 @@ impl std::error::Error for ParseArgsError {}
 /// Parsed `--key value` arguments.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
-    values: HashMap<String, String>,
+    /// Key order matters to [`Args::reject_unknown`]'s error message, so
+    /// the map is a `BTreeMap`: the first unknown key reported is always
+    /// the alphabetically first, not whichever a hasher happens to yield.
+    values: BTreeMap<String, String>,
     flags: Vec<String>,
     consumed: std::cell::RefCell<Vec<String>>,
 }
@@ -40,7 +43,7 @@ impl Args {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut values = HashMap::new();
+        let mut values = BTreeMap::new();
         let mut flags = Vec::new();
         let mut iter = raw.into_iter().map(Into::into).peekable();
         while let Some(arg) = iter.next() {

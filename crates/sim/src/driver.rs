@@ -119,6 +119,33 @@ pub fn run_mix_telemetry(
     run_mix_on_sink(config, mix, llc.as_mut(), snapshot_interval, sink)
 }
 
+/// Simulates `mix` under `scheme` with the differential audit oracle
+/// enabled: every tag-array operation is mirrored into a naive reference
+/// model and cross-checked, and organizations with epoch-level state
+/// (NUcache) verify their epoch invariants as they run. Any divergence
+/// panics at the faulting operation, so a `(result, stats)` return means
+/// the run completed with zero divergences over `stats.array_ops`
+/// mirrored operations.
+///
+/// The result is bit-identical to [`run_mix`]'s for the same inputs —
+/// the oracle observes, it never steers.
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from the config's, or if the
+/// oracle detects a divergence or invariant violation.
+pub fn run_mix_audited(
+    config: &SimConfig,
+    mix: &Mix,
+    scheme: &Scheme,
+) -> (SimResult, nucache_cache::AuditStats) {
+    let mut llc = scheme.build(config.llc, config.num_cores, config.seed);
+    llc.set_audit(true);
+    let result = run_mix_on(config, mix, llc.as_mut());
+    let stats = llc.audit_stats().unwrap_or_default();
+    (result, stats)
+}
+
 /// Simulates `mix` on a caller-provided LLC instance, so callers can
 /// inspect scheme-specific internals (monitors, chosen PCs, …) after the
 /// run.
@@ -431,6 +458,23 @@ mod tests {
         // freeze, plus write-backs; per-core counters are a subset.
         assert!(sum <= r.llc_totals.accesses() + 1);
         assert!(r.llc_totals.accesses() > 0);
+    }
+
+    #[test]
+    fn audited_run_is_bit_identical_and_counts_checks() {
+        let config = SimConfig::demo();
+        // Short epochs so the demo-length run crosses several selection
+        // boundaries and the epoch invariants actually execute.
+        let nucache = Scheme::NuCache(nucache_core::NuCacheConfig::default().with_epoch_len(500));
+        for scheme in [Scheme::Lru, nucache] {
+            let plain = run_mix(&config, &demo_mix(), &scheme);
+            let (audited, stats) = run_mix_audited(&config, &demo_mix(), &scheme);
+            assert_eq!(plain, audited, "the oracle must not perturb {}", scheme.name());
+            assert!(stats.array_ops > 0, "{} must exercise the mirror", scheme.name());
+            if scheme.name().starts_with("nucache") {
+                assert!(stats.epoch_checks > 0, "NUcache must run epoch checks");
+            }
+        }
     }
 
     #[test]

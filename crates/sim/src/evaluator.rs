@@ -7,7 +7,7 @@ use crate::telemetry::{stream_path, TelemetrySpec};
 use nucache_common::telemetry::JsonlSink;
 use nucache_cpu::MultiProgramMetrics;
 use nucache_trace::{Mix, SpecWorkload};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Computes weighted speedups and friends, caching the solo runs that
 /// normalization needs (a solo run depends only on the workload and the
@@ -28,7 +28,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct Evaluator {
     config: SimConfig,
-    solo_cache: HashMap<SpecWorkload, CoreResult>,
+    solo_cache: BTreeMap<SpecWorkload, CoreResult>,
     telemetry: Option<TelemetrySpec>,
     /// Next JSONL stream index (evaluators run serially, so a plain
     /// counter suffices).
@@ -45,7 +45,7 @@ impl Evaluator {
         if telemetry.is_some() {
             crate::telemetry::note_manifest_config(&config);
         }
-        Evaluator { config, solo_cache: HashMap::new(), telemetry, stream_index: 0 }
+        Evaluator { config, solo_cache: BTreeMap::new(), telemetry, stream_index: 0 }
     }
 
     /// Overrides telemetry recording: `Some(spec)` streams every
@@ -68,8 +68,8 @@ impl Evaluator {
         self.solo_cache.entry(workload).or_insert_with(|| run_solo(&config, workload))
     }
 
-    /// Read-only view of the cached solo results.
-    pub fn solo_snapshot(&self) -> &HashMap<SpecWorkload, CoreResult> {
+    /// Read-only view of the cached solo results, in workload order.
+    pub fn solo_snapshot(&self) -> &BTreeMap<SpecWorkload, CoreResult> {
         &self.solo_cache
     }
 

@@ -38,7 +38,7 @@ use crate::telemetry::{stream_path, TelemetrySpec};
 use nucache_common::telemetry::JsonlSink;
 use nucache_cpu::MultiProgramMetrics;
 use nucache_trace::{Mix, SpecWorkload};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -116,7 +116,7 @@ where
 /// cell instead of duplicating the (expensive) run.
 #[derive(Debug, Default)]
 struct SoloCache {
-    cells: Mutex<HashMap<SpecWorkload, Arc<OnceLock<CoreResult>>>>,
+    cells: Mutex<BTreeMap<SpecWorkload, Arc<OnceLock<CoreResult>>>>,
 }
 
 impl SoloCache {
@@ -128,7 +128,7 @@ impl SoloCache {
         cell.get_or_init(|| run_solo(config, workload)).clone()
     }
 
-    fn snapshot(&self) -> HashMap<SpecWorkload, CoreResult> {
+    fn snapshot(&self) -> BTreeMap<SpecWorkload, CoreResult> {
         let map = self.cells.lock().expect("solo cache poisoned");
         map.iter().filter_map(|(&w, cell)| cell.get().map(|r| (w, r.clone()))).collect()
     }

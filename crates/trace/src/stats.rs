@@ -1,7 +1,7 @@
 //! Trace characterization: footprint, intensity and per-PC structure.
 
 use nucache_common::Access;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Summary statistics of a (prefix of a) trace.
 ///
@@ -41,8 +41,9 @@ impl TraceSummary {
         let mut accesses = 0u64;
         let mut instructions = 0u64;
         let mut writes = 0u64;
+        // nucache-audit: allow(nondeterministic-iteration) -- only len() is read
         let mut lines = std::collections::HashSet::new();
-        let mut per_pc: HashMap<u64, u64> = HashMap::new();
+        let mut per_pc: BTreeMap<u64, u64> = BTreeMap::new();
         for a in iter {
             accesses += 1;
             instructions += a.instructions();

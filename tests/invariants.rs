@@ -162,3 +162,56 @@ proptest! {
         }
     }
 }
+
+/// The parallel runner is an optimization, not a semantic change: a
+/// serial run (`--jobs 1`) and any worker count must produce
+/// byte-identical results for the same job list. `Debug` formatting
+/// captures every field of every result, so string equality is the
+/// strongest cheap proxy for bit-identity.
+#[test]
+fn runner_output_is_identical_at_any_job_count() {
+    use nucache_repro::sim::{Runner, Scheme, SimConfig};
+    use nucache_repro::trace::{Mix, SpecWorkload};
+
+    let config = SimConfig::demo().with_run_lengths(2_000, 10_000);
+    let jobs: Vec<(Mix, Scheme)> = [Scheme::Lru, Scheme::nucache_default(), Scheme::Ucp]
+        .into_iter()
+        .map(|s| (Mix::new("det", vec![SpecWorkload::HmmerLike, SpecWorkload::McfLike]), s))
+        .collect();
+
+    let serial = Runner::new(config).with_jobs(1).run_jobs(&jobs);
+    let reference = format!("{serial:?}");
+    for workers in [2, 4, 7] {
+        let parallel = Runner::new(config).with_jobs(workers).run_jobs(&jobs);
+        assert_eq!(
+            reference,
+            format!("{parallel:?}"),
+            "results diverged between --jobs 1 and --jobs {workers}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Same property under random seeds, core counts and worker counts:
+    /// the worker pool must never leak into simulation results.
+    #[test]
+    fn runner_determinism_under_random_configs(
+        seed in any::<u64>(),
+        cores in 1usize..4,
+        workers in 2usize..9,
+    ) {
+        use nucache_repro::sim::{Runner, Scheme, SimConfig};
+        use nucache_repro::trace::{Mix, SpecWorkload};
+
+        let config = SimConfig::demo()
+            .with_cores(cores)
+            .with_seed(seed)
+            .with_run_lengths(1_000, 5_000);
+        let mix = Mix::new("rand", vec![SpecWorkload::GobmkLike; cores]);
+        let jobs = vec![(mix.clone(), Scheme::Lru), (mix, Scheme::nucache_default())];
+        let serial = Runner::new(config).with_jobs(1).run_jobs(&jobs);
+        let parallel = Runner::new(config).with_jobs(workers).run_jobs(&jobs);
+        prop_assert_eq!(format!("{:?}", serial), format!("{:?}", parallel));
+    }
+}
