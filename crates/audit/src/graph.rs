@@ -1,0 +1,200 @@
+//! Cross-crate call/use graph over the symbol index.
+//!
+//! An edge `A -> B` means compilation unit `A` references (by name) a
+//! symbol declared in lib crate `B`. Edges aggregate per referenced
+//! symbol with occurrence counts, and every container is a `BTreeMap`,
+//! so two runs over the same tree render byte-identical output — the
+//! property the determinism test pins down.
+
+use crate::resolve::Workspace;
+use crate::symbols::{SymbolKind, Visibility};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Reference counts for one `referencing unit -> defining crate` pair.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Referenced symbol name → occurrence count.
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Edge {
+    /// Total occurrences across all symbols on this edge.
+    pub fn total_refs(&self) -> u64 {
+        self.symbols.values().sum()
+    }
+}
+
+/// The workspace use graph.
+#[derive(Debug, Default)]
+pub struct UseGraph {
+    /// `(referencing unit, defining lib crate) -> edge`. Only cross-unit
+    /// pairs are stored; a crate's references to itself are not edges.
+    pub edges: BTreeMap<(String, String), Edge>,
+    /// Declared-symbol counts per lib crate (context for reports).
+    pub symbols_per_crate: BTreeMap<String, u64>,
+}
+
+impl UseGraph {
+    /// Builds the graph from a loaded workspace.
+    ///
+    /// Only symbols that are meaningful import targets contribute: items
+    /// visible outside their file (`pub` / `pub(crate)`), excluding
+    /// fields (reached through instances, not paths) and re-exports
+    /// (already counted at their definition).
+    pub fn build(ws: &Workspace) -> UseGraph {
+        let mut graph = UseGraph::default();
+        for def_crate in &ws.index.crates {
+            if def_crate.starts_with("vendor/") {
+                continue;
+            }
+            graph.symbols_per_crate.entry(def_crate.clone()).and_modify(|c| *c += 1).or_insert(1);
+        }
+        // Name -> set of defining lib crates (deduped so one occurrence
+        // counts once per defining crate, however many same-name symbols
+        // that crate declares).
+        let mut defs: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (id, sym) in ws.index.symbols.iter().enumerate() {
+            if sym.vis == Visibility::Private
+                || sym.kind == SymbolKind::Field
+                || sym.kind == SymbolKind::Reexport
+            {
+                continue;
+            }
+            let def_crate = ws.index.crates[id].as_str();
+            if def_crate.starts_with("vendor/") {
+                continue;
+            }
+            defs.entry(sym.name.as_str()).or_default().insert(def_crate);
+        }
+        for (name, def_crates) in &defs {
+            for occ in ws.occurrences_of(name) {
+                let unit = &ws.files[occ.file].unit;
+                if ws.is_declaration(name, occ) {
+                    continue;
+                }
+                for def_crate in def_crates {
+                    // A unit's references to its own lib crate are not
+                    // cross-crate edges ("nucache-sim/tests" still refers
+                    // to lib "nucache-sim" externally, by design).
+                    if unit == def_crate {
+                        continue;
+                    }
+                    *graph
+                        .edges
+                        .entry((unit.clone(), (*def_crate).to_string()))
+                        .or_default()
+                        .symbols
+                        .entry((*name).to_string())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        graph
+    }
+
+    /// Renders the graph as stable, human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "workspace use graph: {} edges", self.edges.len());
+        for ((from, to), edge) in &self.edges {
+            let _ = writeln!(
+                out,
+                "{from} -> {to}: {} symbols, {} refs",
+                edge.symbols.len(),
+                edge.total_refs()
+            );
+            // Top referenced symbols, by count then name.
+            let mut top: Vec<(&String, &u64)> = edge.symbols.iter().collect();
+            top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            for (name, count) in top.iter().take(5) {
+                let _ = writeln!(out, "    {name} ({count})");
+            }
+        }
+        out
+    }
+
+    /// Renders the graph as a stable JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"edges\": [\n");
+        let n = self.edges.len();
+        for (i, ((from, to), edge)) in self.edges.iter().enumerate() {
+            let mut syms = String::new();
+            let total = edge.symbols.len();
+            for (j, (name, count)) in edge.symbols.iter().enumerate() {
+                let _ = write!(
+                    syms,
+                    "{{\"name\": \"{name}\", \"refs\": {count}}}{}",
+                    if j + 1 == total { "" } else { ", " }
+                );
+            }
+            let _ = writeln!(
+                out,
+                "    {{\"from\": \"{from}\", \"to\": \"{to}\", \"refs\": {}, \"symbols\": [{syms}]}}{}",
+                edge.total_refs(),
+                if i + 1 == n { "" } else { "," }
+            );
+        }
+        out.push_str("  ],\n  \"symbols_per_crate\": {\n");
+        let n = self.symbols_per_crate.len();
+        for (i, (krate, count)) in self.symbols_per_crate.iter().enumerate() {
+            let _ = writeln!(out, "    \"{krate}\": {count}{}", if i + 1 == n { "" } else { "," });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::Workspace;
+
+    fn mini_workspace(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nucache-audit-graph-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = |rel: &str, text: &str| {
+            let p = dir.join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(p, text).expect("write");
+        };
+        mk(
+            "crates/common/src/lib.rs",
+            "pub struct CacheStats { pub hits: u64 }\npub fn ratio() {}\n",
+        );
+        mk(
+            "crates/core/src/lib.rs",
+            "use nucache_common::CacheStats;\nfn f() { let s = CacheStats { hits: 0 }; ratio(); }\n",
+        );
+        dir
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve() {
+        let dir = mini_workspace("edges");
+        let ws = Workspace::load(&dir).expect("load");
+        let g = UseGraph::build(&ws);
+        let edge = g
+            .edges
+            .get(&("nucache-core".to_string(), "nucache-common".to_string()))
+            .expect("core -> common edge");
+        assert!(edge.symbols.contains_key("CacheStats"));
+        assert!(edge.symbols.contains_key("ratio"));
+        // No self-edge.
+        assert!(!g.edges.keys().any(|(f, t)| f == t));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let dir = mini_workspace("render");
+        let ws1 = Workspace::load(&dir).expect("load");
+        let ws2 = Workspace::load(&dir).expect("load");
+        let (g1, g2) = (UseGraph::build(&ws1), UseGraph::build(&ws2));
+        assert_eq!(g1.render_text(), g2.render_text());
+        assert_eq!(g1.render_json(), g2.render_json());
+        assert!(g1.render_json().contains("\"from\": \"nucache-core\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

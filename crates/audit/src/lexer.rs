@@ -176,10 +176,9 @@ pub fn scan(source: &str) -> ScannedFile {
                     blank!(p);
                 }
                 i = body_start;
-                let closer: String =
-                    std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
-                let rest: String = bytes[i..].iter().collect();
-                let end = rest.find(&closer).map_or(bytes.len(), |p| i + p + closer.len());
+                // Find the closing `"###…` by char position — a byte-offset
+                // search would derail on multibyte chars inside the body.
+                let end = raw_string_end(&bytes, body_start, hashes);
                 while i < end && i < bytes.len() {
                     blank!(bytes[i]);
                     i += 1;
@@ -250,6 +249,22 @@ fn raw_string_start(bytes: &[char], i: usize) -> Option<(usize, usize)> {
     (bytes.get(j) == Some(&'"')).then_some((j + 1, hashes))
 }
 
+/// Char index one past the closing `"##…` of a raw string whose body
+/// starts at `body_start` with `hashes` hashes; the end of input if the
+/// string is unterminated.
+fn raw_string_end(bytes: &[char], body_start: usize, hashes: usize) -> usize {
+    let mut i = body_start;
+    while i < bytes.len() {
+        if bytes[i] == '"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
 /// Whether `#[cfg(test)]` (whitespace-tolerant) starts at byte `i`.
 fn source_has_cfg_test(bytes: &[char], i: usize) -> bool {
     let window: String = bytes[i..bytes.len().min(i + 24)].iter().collect();
@@ -300,6 +315,60 @@ mod tests {
         assert!(s.is_suppressed("unwrap-in-lib", 2), "next line is covered");
         assert!(!s.is_suppressed("unwrap-in-lib", 3));
         assert!(s.is_suppressed("wall-clock-in-sim", 999), "file-wide covers everything");
+    }
+
+    #[test]
+    fn raw_strings_with_multibyte_chars_do_not_derail() {
+        // The closer search must be char-indexed: a multibyte char inside
+        // the raw-string body once pushed the scan past the real closer.
+        let s = scan("let x = r#\"héllo — ünïcode\"#; let t = Instant::now();\n");
+        assert_eq!(s.blanked.lines().next().unwrap().matches("Instant").count(), 1);
+        // Multibyte *before* the raw string too.
+        let s = scan("let é = 1; let x = r\"ß\"; let t = Instant::now();\n");
+        assert_eq!(s.blanked.lines().next().unwrap().matches("Instant").count(), 1);
+    }
+
+    #[test]
+    fn raw_string_hash_counting() {
+        // A `"#` inside an `r##"…"##` body must not close the string.
+        let s = scan("let x = r##\"inner \"# quote HashMap\"##; let m = HashMap::new();\n");
+        assert_eq!(s.blanked.lines().next().unwrap().matches("HashMap").count(), 1);
+        // Unterminated raw string swallows the rest of the input.
+        let s = scan("let x = r#\"never closed\nHashMap\n");
+        assert!(!s.blanked.contains("HashMap"));
+        assert_eq!(s.blanked.lines().count(), 2);
+    }
+
+    #[test]
+    fn byte_literals_are_blanked() {
+        let s = scan("let c = b'x'; let s = b\"HashMap\"; let r = br#\"HashMap\"#; HashMap\n");
+        assert_eq!(s.blanked.lines().next().unwrap().matches("HashMap").count(), 1);
+        assert!(!s.blanked.contains("b'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments_deeply() {
+        let src = "a /* 1 /* 2 /* 3 */ 2 */ still comment */ b\n/* unterminated /* */\nc\n";
+        let s = scan(src);
+        let first = s.blanked.lines().next().unwrap();
+        assert!(first.contains('a') && first.contains('b'));
+        assert!(!first.contains("still"));
+        // The unterminated nested comment swallows the rest.
+        assert!(!s.blanked.contains('c'));
+        assert_eq!(s.blanked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn lifetime_char_literal_disambiguation() {
+        // 'a> (generic close), 'static, loop labels: lifetimes, kept.
+        let s = scan("impl<'a> Foo<'a> { fn f(&'a self) -> &'static str { 'outer: loop {} } }\n");
+        assert!(s.blanked.contains("'a>"));
+        assert!(s.blanked.contains("'static"));
+        assert!(s.blanked.contains("'outer"));
+        // Escaped quote and backslash char literals terminate correctly.
+        let s = scan(r"let q = '\''; let b = '\\'; let n = '\n'; HashMap");
+        assert_eq!(s.blanked.matches("HashMap").count(), 1);
+        assert!(!s.blanked.contains(r"'\''"));
     }
 
     #[test]

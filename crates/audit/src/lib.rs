@@ -24,16 +24,30 @@
 //! `allow-file(lint-name)`. The scanner is a self-contained lexer — no
 //! external dependencies — so the audit builds and runs offline even when
 //! the simulator crates themselves are broken.
+//!
+//! On top of the per-file pass sits a workspace-level layer: a lexical
+//! [symbol index](symbols), name-based [reference resolution](resolve),
+//! a cross-crate [use graph](graph) and four [semantic lints](semantic)
+//! (`counter-dataflow`, `doc-constant-drift`, `cfg-gate-consistency`,
+//! `dead-cross-crate-pub`). See `DESIGN.md` §10 for the analysis model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod resolve;
+pub mod semantic;
+pub mod symbols;
 pub mod walk;
 
 pub use diag::{Diagnostic, Severity};
+pub use graph::UseGraph;
 pub use lexer::ScannedFile;
 pub use lints::{run_lints, Allowlist, LINTS};
+pub use resolve::Workspace;
+pub use semantic::{dead_pub::Baseline, run_semantic_lints, SEMANTIC_LINTS};
+pub use symbols::{SymbolIndex, SymbolKind, Visibility};
 pub use walk::{classify, collect_rs_files, FileClass};

@@ -1,9 +1,11 @@
-//! CLI for the workspace lint pass.
+//! CLI for the workspace audit.
 //!
 //! ```text
-//! cargo run -p nucache-audit                      # text diagnostics, exit 1 on violations
-//! cargo run -p nucache-audit -- --format json     # machine-readable, for CI
-//! cargo run -p nucache-audit -- --update-allowlist # rewrite crates/audit/allowlist.txt
+//! cargo run -p nucache-audit -- lint                   # all 9 lints, text output
+//! cargo run -p nucache-audit -- lint --format json     # machine-readable, for CI
+//! cargo run -p nucache-audit -- lint --lint counter-dataflow
+//! cargo run -p nucache-audit -- lint --update-baseline # rewrite pub_baseline.txt
+//! cargo run -p nucache-audit -- graph --format json    # cross-crate use graph
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
@@ -11,17 +13,42 @@
 #![forbid(unsafe_code)]
 
 use nucache_audit::lints::{current_unwrap_counts, run_lints, Allowlist, LINTS};
+use nucache_audit::semantic::dead_pub::{self, Baseline};
+use nucache_audit::semantic::{run_semantic_lints, SEMANTIC_LINTS};
+use nucache_audit::{UseGraph, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Relative location of the unwrap allowlist inside the workspace.
 const ALLOWLIST_REL: &str = "crates/audit/allowlist.txt";
 
+/// Relative location of the dead-pub baseline inside the workspace.
+const BASELINE_REL: &str = "crates/audit/pub_baseline.txt";
+
 fn usage() {
     eprintln!(
-        "usage: nucache-audit [--format text|json] [--root PATH] [--update-allowlist]\n\nlints:"
+        "usage: nucache-audit [lint|graph] [options]\n\
+         \n\
+         subcommands:\n\
+         \x20 lint    run every per-file and workspace lint (the default)\n\
+         \x20 graph   print the cross-crate use graph\n\
+         \n\
+         options:\n\
+         \x20 --format text|json   output format (default text)\n\
+         \x20 --root PATH          workspace root (default: this checkout)\n\
+         \x20 --lint NAME          run only the named lint(s); repeatable\n\
+         \x20 --update-allowlist   rewrite {ALLOWLIST_REL} from current unwrap counts\n\
+         \x20 --update-baseline    rewrite {BASELINE_REL} from current dead-pub findings\n\
+         \n\
+         exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error\n\
+         \n\
+         per-file lints:"
     );
     for (name, rule) in LINTS {
+        eprintln!("  {name:<28} {rule}");
+    }
+    eprintln!("\nworkspace lints:");
+    for (name, rule) in SEMANTIC_LINTS {
         eprintln!("  {name:<28} {rule}");
     }
     eprintln!(
@@ -30,103 +57,150 @@ fn usage() {
     );
 }
 
-fn main() -> ExitCode {
-    let mut format = String::from("text");
-    let mut root: Option<PathBuf> = None;
-    let mut update_allowlist = false;
+/// Parsed command line.
+struct Cli {
+    command: String,
+    format: String,
+    root: PathBuf,
+    only: Vec<String>,
+    update_allowlist: bool,
+    update_baseline: bool,
+}
 
-    let mut args = std::env::args().skip(1);
+fn parse_args() -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        command: String::from("lint"),
+        format: String::from("text"),
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."),
+        only: Vec::new(),
+        update_allowlist: false,
+        update_baseline: false,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    if let Some(first) = args.peek() {
+        if first == "lint" || first == "graph" {
+            cli.command = args.next().unwrap_or_default();
+        }
+    }
+    let known: Vec<&str> =
+        LINTS.iter().chain(SEMANTIC_LINTS.iter()).map(|(name, _)| *name).collect();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next() {
-                Some(f) if f == "text" || f == "json" => format = f,
-                _ => {
-                    eprintln!("error: --format takes `text` or `json`");
-                    return ExitCode::from(2);
-                }
+                Some(f) if f == "text" || f == "json" => cli.format = f,
+                _ => return Err("--format takes `text` or `json`".into()),
             },
             "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("error: --root takes a path");
-                    return ExitCode::from(2);
-                }
+                Some(p) => cli.root = PathBuf::from(p),
+                None => return Err("--root takes a path".into()),
             },
-            "--update-allowlist" => update_allowlist = true,
+            "--lint" => match args.next() {
+                Some(name) if known.contains(&name.as_str()) => cli.only.push(name),
+                Some(name) => return Err(format!("unknown lint {name:?} (see --help)")),
+                None => return Err("--lint takes a lint name".into()),
+            },
+            "--update-allowlist" => cli.update_allowlist = true,
+            "--update-baseline" => cli.update_baseline = true,
             "--help" | "-h" => {
                 usage();
-                return ExitCode::SUCCESS;
+                return Ok(None);
             }
-            other => {
-                eprintln!("error: unknown argument {other:?}");
-                usage();
-                return ExitCode::from(2);
-            }
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    Ok(Some(cli))
+}
 
-    // Default to the workspace root: this crate lives at crates/audit/.
-    let root =
-        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
-
-    if update_allowlist {
-        return match current_unwrap_counts(&root) {
-            Ok(list) => {
-                let path = root.join(ALLOWLIST_REL);
-                match std::fs::write(&path, list.render()) {
-                    Ok(()) => {
-                        eprintln!("wrote {} entries to {}", list.entries.len(), path.display());
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => {
-                        eprintln!("error: writing {}: {e}", path.display());
-                        ExitCode::from(2)
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("error: scanning workspace: {e}");
-                ExitCode::from(2)
-            }
-        };
+/// `lint` subcommand body.
+fn run_lint(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.update_allowlist {
+        let list = current_unwrap_counts(&cli.root).map_err(|e| format!("scanning: {e}"))?;
+        let path = cli.root.join(ALLOWLIST_REL);
+        std::fs::write(&path, list.render()).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {} entries to {}", list.entries.len(), path.display());
+        return Ok(ExitCode::SUCCESS);
     }
 
-    let allowlist = match std::fs::read_to_string(root.join(ALLOWLIST_REL)) {
-        Ok(text) => match Allowlist::parse(&text) {
-            Ok(list) => list,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(2);
-            }
-        },
+    let ws = Workspace::load(&cli.root).map_err(|e| format!("scanning workspace: {e}"))?;
+
+    if cli.update_baseline {
+        let entries = dead_pub::current_entries(&ws).into_iter().map(|(k, _, _)| k).collect();
+        let path = cli.root.join(BASELINE_REL);
+        let body = Baseline::render(&entries);
+        std::fs::write(&path, body).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {} entries to {}", entries.len(), path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let allowlist = match std::fs::read_to_string(cli.root.join(ALLOWLIST_REL)) {
+        Ok(text) => Allowlist::parse(&text).map_err(|e| e.to_string())?,
         // Missing allowlist means an empty budget, not an error.
         Err(_) => Allowlist::default(),
     };
+    let baseline =
+        Baseline::load(&cli.root.join(BASELINE_REL)).map_err(|e| format!("baseline: {e}"))?;
 
-    let diags = match run_lints(&root, &allowlist) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: scanning workspace: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    let mut diags = run_lints(&cli.root, &allowlist).map_err(|e| format!("scanning: {e}"))?;
+    diags.extend(run_semantic_lints(&ws, &baseline));
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.message).cmp(&(&b.file, b.line, b.lint, &b.message))
+    });
+    if !cli.only.is_empty() {
+        diags.retain(|d| cli.only.iter().any(|n| n == d.lint));
+    }
 
-    if format == "json" {
+    if cli.format == "json" {
         print!("{}", nucache_audit::diag::to_json(&diags));
     } else {
         for d in &diags {
             println!("{d}");
         }
         if diags.is_empty() {
-            eprintln!("nucache-audit: workspace clean ({} lints)", LINTS.len());
+            let total = LINTS.len() + SEMANTIC_LINTS.len();
+            let scope = if cli.only.is_empty() {
+                format!("{total} lints")
+            } else {
+                format!("{} of {total} lints", cli.only.len())
+            };
+            eprintln!("nucache-audit: workspace clean ({scope})");
         } else {
             eprintln!("nucache-audit: {} violation(s)", diags.len());
         }
     }
+    Ok(if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
 
-    if diags.is_empty() {
-        ExitCode::SUCCESS
+/// `graph` subcommand body.
+fn run_graph(cli: &Cli) -> Result<ExitCode, String> {
+    let ws = Workspace::load(&cli.root).map_err(|e| format!("scanning workspace: {e}"))?;
+    let graph = UseGraph::build(&ws);
+    if cli.format == "json" {
+        print!("{}", graph.render_json());
     } else {
-        ExitCode::FAILURE
+        print!("{}", graph.render_text());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cli.command.as_str() {
+        "graph" => run_graph(&cli),
+        _ => run_lint(&cli),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -1,0 +1,112 @@
+//! The `cfg-gate-consistency` lint.
+//!
+//! The `debug_invariants` feature gates the differential oracle: when it
+//! is off, the oracle types and hooks must compile out entirely. An
+//! ungated reference to a gated item breaks exactly one build
+//! configuration — the one CI isn't currently running — which is how
+//! feature rot ships. The rule:
+//!
+//! > every reference to a feature-gated item must itself sit under (at
+//! > least) the same feature gates.
+//!
+//! Only `feature = "…"` gates participate. `cfg(test)` and
+//! `cfg(debug_assertions)` don't create link-time holes the same way,
+//! and `opaque:` gates (any/all/not combinators) are skipped rather than
+//! guessed at. A name declared several times with *different* gate sets
+//! is also skipped: name-based resolution can't tell which definition a
+//! reference binds to, and guessing would produce false positives.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::resolve::Workspace;
+use crate::symbols::SymbolKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+const LINT: &str = "cfg-gate-consistency";
+
+/// Feature gates of one symbol's declaration, or `None` when the gate
+/// set is unusable (opaque combinators present).
+fn feature_gates(gates: &[String]) -> Option<BTreeSet<String>> {
+    let mut out = BTreeSet::new();
+    for g in gates {
+        if let Some(name) = g.strip_prefix("feature:") {
+            out.insert(name.to_string());
+        } else if g.starts_with("opaque:") {
+            return None;
+        }
+        // `test` / `debug_assertions`: intentionally ignored.
+    }
+    Some(out)
+}
+
+/// Runs the lint, appending findings to `out`.
+pub fn lint(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    // Name -> the one agreed gate set of all its non-vendor declarations,
+    // or None when declarations disagree / are opaque.
+    let mut required: BTreeMap<&str, Option<BTreeSet<String>>> = BTreeMap::new();
+    for (id, sym) in ws.index.symbols.iter().enumerate() {
+        if ws.index.crates[id].starts_with("vendor/") || sym.kind == SymbolKind::Field {
+            continue;
+        }
+        let gates = feature_gates(&sym.gates);
+        match required.get_mut(sym.name.as_str()) {
+            None => {
+                required.insert(&sym.name, gates);
+            }
+            Some(existing) => {
+                if *existing != gates {
+                    *existing = None;
+                }
+            }
+        }
+    }
+
+    for (name, gates) in &required {
+        let Some(gates) = gates else { continue };
+        if gates.is_empty() {
+            continue;
+        }
+        for occ in ws.occurrences_of(name) {
+            let f = &ws.files[occ.file];
+            if f.class.is_vendor || ws.is_declaration(name, occ) {
+                continue;
+            }
+            let Some(site) = feature_gates(&f.symbols.gates_at(occ.pos)) else {
+                // Reference under an opaque gate: give it the benefit of
+                // the doubt rather than flag unprovable code.
+                continue;
+            };
+            let missing: Vec<&String> = gates.difference(&site).collect();
+            if missing.is_empty() {
+                continue;
+            }
+            if super::suppressed(ws, LINT, occ.file, occ.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: occ.line,
+                lint: LINT,
+                message: format!(
+                    "`{name}` is declared under #[cfg(feature = \"{}\")] but referenced \
+                     here without that gate — this breaks builds with the feature disabled",
+                    missing.iter().map(|s| s.as_str()).collect::<Vec<_>>().join("\", \"")
+                ),
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_normalization() {
+        let gates = vec!["feature:debug_invariants".to_string(), "test".to_string()];
+        let set = feature_gates(&gates).expect("usable");
+        assert_eq!(set.len(), 1);
+        assert!(set.contains("debug_invariants"));
+        assert!(feature_gates(&["opaque:any(feature = \"a\")".to_string()]).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! The `doc-constant-drift` lint.
+//!
+//! DESIGN.md and EXPERIMENTS.md state the reproduced configuration as
+//! markdown tables ("epoch length 100 000 accesses", "16-way LLC", …).
+//! Those numbers drift: someone retunes a default in `config.rs` and the
+//! doc keeps describing the old experiment. This lint makes the binding
+//! explicit — any table row that names a constant in backticks
+//! (`` `DEFAULT_EPOCH_LEN` `` style, UPPER_SNAKE) and carries a numeric
+//! cell is checked against the `const` of that name in the symbol index.
+//!
+//! Two failure modes, both errors:
+//!
+//! * the named constant does not exist in the code (stale name, typo);
+//! * the numeric cell disagrees with the constant's evaluated value.
+//!
+//! Rows whose constant initializer the mini-evaluator cannot fold (e.g.
+//! computed from another crate's const) are reported as errors too —
+//! the table contract is that bound constants stay checkable.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::resolve::Workspace;
+use crate::symbols::{parse_int, SymbolKind};
+
+const LINT: &str = "doc-constant-drift";
+
+/// A `CONST_NAME` ↔ number binding extracted from a markdown table row.
+#[derive(Debug)]
+struct Binding {
+    doc: String,
+    line: usize,
+    name: String,
+    value: i128,
+}
+
+/// Whether `text` looks like a constant name: UPPER_SNAKE, at least one
+/// underscore or ≥4 chars, no lowercase.
+fn is_const_name(text: &str) -> bool {
+    !text.is_empty()
+        && text.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && (text.contains('_') || text.len() >= 4)
+}
+
+/// Extracts the backticked constant name from a table cell, if any.
+fn backticked_const(cell: &str) -> Option<String> {
+    let mut rest = cell;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let end = after.find('`')?;
+        let candidate = &after[..end];
+        if is_const_name(candidate) {
+            return Some(candidate.to_string());
+        }
+        rest = &after[end + 1..];
+    }
+    None
+}
+
+/// Extracts the first integer from a cell: `100_000`, `0x5eed_2011`,
+/// `1048576`, or `=32` style. Ignores decorations around it.
+fn cell_value(cell: &str) -> Option<i128> {
+    for word in cell.split(|c: char| c.is_ascii_whitespace() || c == '`' || c == '=' || c == ',') {
+        let trimmed = word.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_');
+        if trimmed.is_empty() || !trimmed.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        if let Some(v) = parse_int(trimmed) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Parses all bindings out of one markdown document.
+fn bindings(doc: &str, text: &str) -> Vec<Binding> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        // Table rows only: `| … | … |`. Separator rows have no digits or
+        // backticks, so they fall out naturally.
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        let Some(name) = cells.iter().find_map(|c| backticked_const(c)) else { continue };
+        // Value: first numeric cell that is not the one holding the name.
+        let value =
+            cells.iter().filter(|c| !c.contains(&format!("`{name}`"))).find_map(|c| cell_value(c));
+        if let Some(value) = value {
+            out.push(Binding { doc: doc.to_string(), line: i + 1, name, value });
+        }
+    }
+    out
+}
+
+/// Runs the lint, appending findings to `out`.
+pub fn lint(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for (doc, text) in &ws.docs {
+        for b in bindings(doc, text) {
+            // Every non-vendor const of that name must agree; typically
+            // there is exactly one.
+            let mut found = false;
+            let mut mismatch: Option<String> = None;
+            let mut unevaluated: Option<String> = None;
+            for (id, sym) in ws.index.named(&b.name) {
+                if sym.kind != SymbolKind::Const && sym.kind != SymbolKind::Static {
+                    continue;
+                }
+                if ws.index.crates[id].starts_with("vendor/") {
+                    continue;
+                }
+                found = true;
+                match sym.const_value {
+                    Some(v) if v == b.value => {}
+                    Some(v) => {
+                        mismatch = Some(format!(
+                            "`{}` is {} in {}:{} but {} documents {}",
+                            b.name, v, sym.file, sym.line, b.doc, b.value
+                        ));
+                    }
+                    None => {
+                        unevaluated = Some(format!(
+                            "`{}` in {}:{} has an initializer the audit cannot evaluate; \
+                             inline a literal value or drop the doc binding",
+                            b.name, sym.file, sym.line
+                        ));
+                    }
+                }
+            }
+            let message = if !found {
+                Some(format!(
+                    "{} documents `{}` = {} but no such const exists in the workspace",
+                    b.doc, b.name, b.value
+                ))
+            } else {
+                mismatch.or(unevaluated)
+            };
+            if let Some(message) = message {
+                out.push(Diagnostic {
+                    file: b.doc.clone(),
+                    line: b.line,
+                    lint: LINT,
+                    message,
+                    severity: Severity::Error,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_extraction() {
+        let text = "intro\n\
+                    | parameter | constant | value |\n\
+                    |---|---|---|\n\
+                    | epoch length | `DEFAULT_EPOCH_LEN` | 100_000 |\n\
+                    | ways | `DEFAULT_DELI_WAYS` | 8 |\n\
+                    | not bound | plain text | 42 |\n";
+        let b = bindings("DESIGN.md", text);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].name, "DEFAULT_EPOCH_LEN");
+        assert_eq!(b[0].value, 100_000);
+        assert_eq!(b[0].line, 4);
+        assert_eq!(b[1].name, "DEFAULT_DELI_WAYS");
+        assert_eq!(b[1].value, 8);
+    }
+
+    #[test]
+    fn const_name_shape() {
+        assert!(is_const_name("DEFAULT_EPOCH_LEN"));
+        assert!(is_const_name("SEED"));
+        assert!(!is_const_name("DeliWays"));
+        assert!(!is_const_name("fn"));
+        assert!(!is_const_name(""));
+    }
+
+    #[test]
+    fn numeric_cells() {
+        assert_eq!(cell_value(" 100_000 "), Some(100_000));
+        assert_eq!(cell_value("0x5eed_2011"), Some(0x5eed_2011));
+        assert_eq!(cell_value("= 64 bytes"), Some(64));
+        assert_eq!(cell_value("none here"), None);
+    }
+}

@@ -3,7 +3,7 @@
 use std::path::{Path, PathBuf};
 
 /// Directory names never descended into.
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "runs", "results"];
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "runs", "results", "fixtures"];
 
 /// Collects every `.rs` file under `root`, sorted by path so the walk
 /// (and therefore diagnostic order and the allowlist) is deterministic.

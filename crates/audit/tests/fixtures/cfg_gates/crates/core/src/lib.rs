@@ -1,0 +1,27 @@
+//! Known-bad feature gating: gated items referenced from ungated code.
+
+/// Gated oracle state.
+#[cfg(feature = "debug_invariants")]
+pub struct Oracle {
+    /// Divergence count.
+    pub checks: u64,
+}
+
+/// Gated hook, fine to reference from other gated code.
+#[cfg(feature = "debug_invariants")]
+pub fn verify(o: &Oracle) -> u64 {
+    o.checks
+}
+
+/// Properly gated call site: no finding.
+#[cfg(feature = "debug_invariants")]
+pub fn audited_run() -> u64 {
+    let o = Oracle { checks: 0 };
+    verify(&o)
+}
+
+/// Ungated call site: both references are findings.
+pub fn run() -> u64 {
+    let o = Oracle { checks: 0 };
+    verify(&o)
+}

@@ -1,0 +1,18 @@
+//! Known-good counter wiring: incremented, read, resettable, documented.
+
+/// Epoch length bound by the fixture's DESIGN.md table.
+pub const EPOCH_LEN: u64 = 100;
+
+/// Counters with a derive(Default) reset path.
+#[derive(Default)]
+pub struct CoreStats {
+    /// Hits: incremented in `record`, read in `app::run`.
+    pub hits: u64,
+}
+
+impl CoreStats {
+    /// Increments the hit counter.
+    pub fn record(&mut self) {
+        self.hits += 1;
+    }
+}

@@ -1,0 +1,11 @@
+//! One referenced pub, one dead pub.
+
+/// Referenced from crate `b`.
+pub fn used() -> u64 {
+    7
+}
+
+/// Never referenced outside this crate.
+pub fn unused() -> u64 {
+    8
+}

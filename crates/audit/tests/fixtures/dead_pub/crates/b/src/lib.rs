@@ -1,0 +1,6 @@
+//! Consumes part of crate `a`; its own entry point is baselined.
+
+/// Baselined in the test: nothing in the fixture calls it.
+pub fn caller() -> u64 {
+    nucache_a::used()
+}

@@ -1,0 +1,10 @@
+//! Constants for the doc-drift fixture.
+
+/// Matches the DESIGN.md table.
+pub const GOOD_CONST: u64 = 8;
+
+/// DESIGN.md documents 9 for this one.
+pub const BAD_CONST: u64 = 8;
+
+/// Initializer the mini-evaluator cannot fold.
+pub const OPAQUE_CONST: u64 = GOOD_CONST / 2;

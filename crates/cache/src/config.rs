@@ -3,6 +3,12 @@
 use nucache_common::LineAddr;
 use std::fmt;
 
+/// The block (line) size used throughout the evaluation, in bytes.
+///
+/// Every cache level in the baseline system uses this block size;
+/// DESIGN.md binds its configuration table to this constant.
+pub const DEFAULT_BLOCK_BYTES: u32 = 64;
+
 /// The shape of one cache: capacity, associativity and block size.
 ///
 /// All three are fixed at construction; derived quantities (set count,

@@ -37,12 +37,29 @@ impl fmt::Display for SelectionStrategy {
     }
 }
 
+/// Default DeliWays per set (half of the 16-way baseline LLC).
+pub const DEFAULT_DELI_WAYS: usize = 8;
+/// Default LLC accesses between PC re-selections.
+pub const DEFAULT_EPOCH_LEN: u64 = 100_000;
+/// Default delinquent-PC candidate pool per selection.
+pub const DEFAULT_MAX_CANDIDATES: usize = 32;
+/// Default candidate cap for the exhaustive selection oracle.
+pub const DEFAULT_ORACLE_POOL: usize = 12;
+/// Default monitor sampling: one set in `2^DEFAULT_MONITOR_SHIFT`.
+pub const DEFAULT_MONITOR_SHIFT: u32 = 5;
+/// Default entries per sampled monitor set.
+pub const DEFAULT_MONITOR_DEPTH: usize = 64;
+/// Default buckets per per-PC Next-Use histogram.
+pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 32;
+
 /// Configuration of a [`NuCache`](crate::NuCache) instance.
 ///
 /// The defaults correspond to the design point used for the headline
 /// results: half the ways reserved as DeliWays, 32 delinquent-PC
 /// candidates, Next-Use monitoring on 1 set in 32, and a 100k-access
-/// selection epoch.
+/// selection epoch. The design-point values are the named `DEFAULT_*`
+/// constants above; DESIGN.md binds its configuration table to them
+/// (checked by `nucache-audit lint`, lint `doc-constant-drift`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NuCacheConfig {
     /// Number of ways per set reserved as DeliWays (the remaining ways
@@ -78,13 +95,13 @@ pub struct NuCacheConfig {
 impl Default for NuCacheConfig {
     fn default() -> Self {
         NuCacheConfig {
-            deli_ways: 8,
-            epoch_len: 100_000,
-            max_candidates: 32,
-            oracle_pool: 12,
-            monitor_shift: 5,
-            monitor_depth: 64,
-            histogram_buckets: 32,
+            deli_ways: DEFAULT_DELI_WAYS,
+            epoch_len: DEFAULT_EPOCH_LEN,
+            max_candidates: DEFAULT_MAX_CANDIDATES,
+            oracle_pool: DEFAULT_ORACLE_POOL,
+            monitor_shift: DEFAULT_MONITOR_SHIFT,
+            monitor_depth: DEFAULT_MONITOR_DEPTH,
+            histogram_buckets: DEFAULT_HISTOGRAM_BUCKETS,
             promote_on_deli_hit: true,
             deli_hit_refresh: false,
             strategy: SelectionStrategy::CostBenefit,

@@ -1,11 +1,14 @@
 //! Table generators (system configuration, workloads, mixes, overhead).
 
 use crate::{emit, run_lengths};
+use nucache_cache::config::DEFAULT_BLOCK_BYTES;
 use nucache_common::table::{f2, f3, Table};
 use nucache_common::CoreId;
 use nucache_core::overhead::{nucache_overhead, pipp_overhead, tadip_overhead, ucp_overhead};
 use nucache_core::NuCacheConfig;
+use nucache_sim::config::{BASELINE_LLC_BYTES_PER_CORE, BASELINE_LLC_WAYS};
 use nucache_sim::runner::{default_jobs, parallel_map};
+use nucache_sim::scheme::PARTITION_EPOCH;
 use nucache_sim::{run_solo, SimConfig};
 use nucache_trace::{Mix, SpecWorkload, TraceGen, TraceSummary};
 
@@ -21,16 +24,27 @@ pub fn table1() {
     row("core model", "in-order, 1 IPC + memory stalls, per-class MLP overlap".into());
     row("L1 (private)", format!("{}", config.l1));
     row("L2 (private)", format!("{}", config.l2));
-    row("LLC (shared)", "1 MiB per core, 16-way, 64B (scales with cores)".into());
+    row(
+        "LLC (shared)",
+        format!(
+            "{} MiB per core, {}-way, {}B (scales with cores)",
+            BASELINE_LLC_BYTES_PER_CORE >> 20,
+            BASELINE_LLC_WAYS,
+            DEFAULT_BLOCK_BYTES
+        ),
+    );
     row("latencies", format!("{}", config.timing));
-    row("NUcache MainWays/DeliWays", format!("{} / {}", 16 - nu.deli_ways, nu.deli_ways));
+    row(
+        "NUcache MainWays/DeliWays",
+        format!("{} / {}", BASELINE_LLC_WAYS - nu.deli_ways, nu.deli_ways),
+    );
     row("NUcache epoch", format!("{} LLC accesses", nu.epoch_len));
     row("NUcache candidates", format!("{}", nu.max_candidates));
     row(
         "Next-Use monitor",
         format!("1 set in {}, {} entries/set", 1 << nu.monitor_shift, nu.monitor_depth),
     );
-    row("UCP/PIPP epoch", "100000 LLC accesses, UMON-DSS 1 set in 32".into());
+    row("UCP/PIPP epoch", format!("{PARTITION_EPOCH} LLC accesses, UMON-DSS 1 set in 32"));
     let (warm, meas) = run_lengths();
     row("run length / core", format!("{warm} warm-up + {meas} measured accesses"));
     emit("table1_config", "Simulated system configuration", &t);
@@ -47,6 +61,7 @@ pub fn table2() {
         "apki",
         "solo_ipc",
         "solo_llc_mpki",
+        "pcs",
         "top4_pc_cov",
     ]);
     let rows = parallel_map(default_jobs(), &SpecWorkload::ALL, |&w| {
@@ -63,6 +78,7 @@ pub fn table2() {
             f2(summary.apki()),
             f3(solo.ipc),
             f2(solo.llc_mpki),
+            summary.distinct_pcs.to_string(),
             f2(summary.top_pc_coverage(4)),
         ]);
     }

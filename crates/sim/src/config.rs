@@ -1,7 +1,28 @@
 //! The simulated system configuration (Table 1).
 
+use nucache_cache::config::DEFAULT_BLOCK_BYTES;
 use nucache_cache::CacheGeometry;
 use nucache_cpu::TimingConfig;
+
+/// Baseline private L1 capacity per core, in bytes (32 KB).
+pub const BASELINE_L1_BYTES: u64 = 32 * 1024;
+/// Baseline private L1 associativity.
+pub const BASELINE_L1_WAYS: usize = 8;
+/// Baseline private L2 capacity per core, in bytes (256 KB).
+pub const BASELINE_L2_BYTES: u64 = 256 * 1024;
+/// Baseline private L2 associativity.
+pub const BASELINE_L2_WAYS: usize = 8;
+/// Baseline shared-LLC capacity per core, in bytes (1 MiB; the LLC
+/// scales with the core count).
+pub const BASELINE_LLC_BYTES_PER_CORE: u64 = 1024 * 1024;
+/// Baseline shared-LLC associativity.
+pub const BASELINE_LLC_WAYS: usize = 16;
+/// Baseline per-core warm-up accesses before measurement starts.
+pub const BASELINE_WARMUP_ACCESSES: u64 = 300_000;
+/// Baseline per-core measured accesses.
+pub const BASELINE_MEASURE_ACCESSES: u64 = 1_000_000;
+/// Baseline master seed for traces and stochastic policies.
+pub const BASELINE_SEED: u64 = 0x5eed_2011;
 
 /// Complete description of the simulated system and the run lengths.
 ///
@@ -42,13 +63,17 @@ impl SimConfig {
         assert!(num_cores > 0, "need at least one core");
         SimConfig {
             num_cores,
-            l1: CacheGeometry::new(32 * 1024, 8, 64),
-            l2: CacheGeometry::new(256 * 1024, 8, 64),
-            llc: CacheGeometry::new(num_cores as u64 * 1024 * 1024, 16, 64),
+            l1: CacheGeometry::new(BASELINE_L1_BYTES, BASELINE_L1_WAYS, DEFAULT_BLOCK_BYTES),
+            l2: CacheGeometry::new(BASELINE_L2_BYTES, BASELINE_L2_WAYS, DEFAULT_BLOCK_BYTES),
+            llc: CacheGeometry::new(
+                num_cores as u64 * BASELINE_LLC_BYTES_PER_CORE,
+                BASELINE_LLC_WAYS,
+                DEFAULT_BLOCK_BYTES,
+            ),
             timing: TimingConfig::default(),
-            warmup_accesses: 300_000,
-            measure_accesses: 1_000_000,
-            seed: 0x5eed_2011,
+            warmup_accesses: BASELINE_WARMUP_ACCESSES,
+            measure_accesses: BASELINE_MEASURE_ACCESSES,
+            seed: BASELINE_SEED,
         }
     }
 
@@ -63,7 +88,7 @@ impl SimConfig {
             timing: TimingConfig::default(),
             warmup_accesses: 5_000,
             measure_accesses: 20_000,
-            seed: 0x5eed_2011,
+            seed: BASELINE_SEED,
         }
     }
 

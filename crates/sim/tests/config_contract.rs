@@ -1,0 +1,53 @@
+//! Pins the baseline/default configurations to their named constants.
+//!
+//! DESIGN.md §10.1 and EXPERIMENTS.md bind their configuration tables to
+//! these constants (`doc-constant-drift`), and this test binds the
+//! constants to the actual `SimConfig::baseline` / `NuCacheConfig`
+//! wiring — so a retuned default cannot silently diverge from either
+//! the docs or the constant it is named after.
+
+use nucache_cache::config::DEFAULT_BLOCK_BYTES;
+use nucache_core::config::{
+    DEFAULT_DELI_WAYS, DEFAULT_EPOCH_LEN, DEFAULT_HISTOGRAM_BUCKETS, DEFAULT_MAX_CANDIDATES,
+    DEFAULT_MONITOR_DEPTH, DEFAULT_MONITOR_SHIFT, DEFAULT_ORACLE_POOL,
+};
+use nucache_core::NuCacheConfig;
+use nucache_sim::config::{
+    BASELINE_L1_BYTES, BASELINE_L1_WAYS, BASELINE_L2_BYTES, BASELINE_L2_WAYS,
+    BASELINE_LLC_BYTES_PER_CORE, BASELINE_LLC_WAYS, BASELINE_MEASURE_ACCESSES, BASELINE_SEED,
+    BASELINE_WARMUP_ACCESSES,
+};
+use nucache_sim::SimConfig;
+
+#[test]
+fn baseline_sim_config_uses_named_constants() {
+    for cores in [1usize, 2, 4, 8] {
+        let c = SimConfig::baseline(cores);
+        assert_eq!(c.l1.size_bytes(), BASELINE_L1_BYTES);
+        assert_eq!(c.l1.associativity(), BASELINE_L1_WAYS);
+        assert_eq!(c.l2.size_bytes(), BASELINE_L2_BYTES);
+        assert_eq!(c.l2.associativity(), BASELINE_L2_WAYS);
+        assert_eq!(c.llc.size_bytes(), cores as u64 * BASELINE_LLC_BYTES_PER_CORE);
+        assert_eq!(c.llc.associativity(), BASELINE_LLC_WAYS);
+        for geom in [c.l1, c.l2, c.llc] {
+            assert_eq!(geom.block_bytes(), DEFAULT_BLOCK_BYTES);
+        }
+        assert_eq!(c.warmup_accesses, BASELINE_WARMUP_ACCESSES);
+        assert_eq!(c.measure_accesses, BASELINE_MEASURE_ACCESSES);
+        assert_eq!(c.seed, BASELINE_SEED);
+    }
+}
+
+#[test]
+fn default_nucache_config_uses_named_constants() {
+    let nu = NuCacheConfig::default();
+    assert_eq!(nu.deli_ways, DEFAULT_DELI_WAYS);
+    assert_eq!(nu.epoch_len, DEFAULT_EPOCH_LEN);
+    assert_eq!(nu.max_candidates, DEFAULT_MAX_CANDIDATES);
+    assert_eq!(nu.oracle_pool, DEFAULT_ORACLE_POOL);
+    assert_eq!(nu.monitor_shift, DEFAULT_MONITOR_SHIFT);
+    assert_eq!(nu.monitor_depth, DEFAULT_MONITOR_DEPTH);
+    assert_eq!(nu.histogram_buckets, DEFAULT_HISTOGRAM_BUCKETS);
+    // The design point leaves half the 16-way LLC as MainWays.
+    assert_eq!(BASELINE_LLC_WAYS - nu.deli_ways, 8);
+}

@@ -6,7 +6,8 @@ use nucache_common::{Access, AccessKind, Addr, CoreId, DetRng, Pc};
 
 /// Cache-line size assumed by the generators (64 bytes).
 pub const BLOCK_BYTES: u64 = 64;
-const BLOCK_BITS: u32 = 6;
+/// log2 of [`BLOCK_BYTES`].
+pub(crate) const BLOCK_BITS: u32 = 6;
 
 /// Line-address spacing between site regions: 2^26 lines = 4 GiB of
 /// address space per region, far larger than any region we generate.

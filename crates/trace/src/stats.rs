@@ -1,5 +1,6 @@
 //! Trace characterization: footprint, intensity and per-PC structure.
 
+use crate::gen::{BLOCK_BITS, BLOCK_BYTES};
 use nucache_common::Access;
 use std::collections::BTreeMap;
 
@@ -50,7 +51,7 @@ impl TraceSummary {
             if a.kind.is_write() {
                 writes += 1;
             }
-            lines.insert(a.addr.line(6).0);
+            lines.insert(a.addr.line(BLOCK_BITS).0);
             *per_pc.entry(a.pc.0).or_insert(0) += 1;
         }
         let mut accesses_per_pc: Vec<(u64, u64)> = per_pc.into_iter().collect();
@@ -74,9 +75,9 @@ impl TraceSummary {
         }
     }
 
-    /// Footprint in bytes (64 B lines).
+    /// Footprint in bytes ([`BLOCK_BYTES`]-sized lines).
     pub fn footprint_bytes(&self) -> u64 {
-        self.distinct_lines * 64
+        self.distinct_lines * BLOCK_BYTES
     }
 
     /// Fraction of accesses issued by the `k` most active PCs.
