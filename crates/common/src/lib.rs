@@ -4,10 +4,11 @@
 //! workspace: strongly-typed addresses and program counters, access
 //! records, geometric histograms (used by the Next-Use monitor), counter
 //! bundles, a deterministic seeded RNG wrapper, small text-table /
-//! CSV reporting helpers used by the experiment binaries, and the
+//! CSV reporting helpers used by the experiment binaries, the
 //! epoch-level [`telemetry`] event model (with its dependency-free
 //! [`json`] substrate) that the simulator's JSONL streams and run
-//! manifests are built on.
+//! manifests are built on, and the seeded [`fault`]-injection plan the
+//! pipeline's fault-tolerance paths are exercised with.
 //!
 //! # Examples
 //!
@@ -23,6 +24,7 @@
 
 pub mod access;
 pub mod addr;
+pub mod fault;
 pub mod histogram;
 pub mod json;
 pub mod rng;
@@ -32,6 +34,7 @@ pub mod telemetry;
 
 pub use access::{Access, AccessKind};
 pub use addr::{Addr, CoreId, LineAddr, Pc};
+pub use fault::{active_fault_plan, set_fault_plan, FaultPlan, FaultSite};
 pub use histogram::Log2Histogram;
 pub use json::JsonValue;
 pub use rng::DetRng;

@@ -334,6 +334,24 @@ pub trait EventSink {
     /// Consumes one event.
     fn record(&mut self, event: &Event);
 
+    /// Consumes one event, surfacing I/O failure eagerly.
+    ///
+    /// In-memory sinks cannot fail and use the default (record, then
+    /// `Ok`); file-backed sinks override this so producers that *can*
+    /// degrade gracefully — drop telemetry, keep simulating — learn
+    /// about a dead stream at the first failing write instead of at
+    /// teardown. [`EventSink::record`] remains infallible for producers
+    /// that defer error handling to the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error that prevented the event from being
+    /// durably recorded.
+    fn try_record(&mut self, event: &Event) -> std::io::Result<()> {
+        self.record(event);
+        Ok(())
+    }
+
     /// Whether producers should bother constructing events at all.
     fn is_enabled(&self) -> bool {
         true
@@ -429,6 +447,19 @@ impl<W: Write> JsonlSink<W> {
         self.lines
     }
 
+    /// Marks the sink as failed with `error`, as if a write had failed;
+    /// later records are dropped and [`JsonlSink::finish`] returns the
+    /// error. No-op when a real error is already recorded.
+    ///
+    /// This is the hook deterministic fault injection
+    /// ([`crate::fault::FaultSite::TelemetryWrite`]) uses to exercise
+    /// the degraded-stream paths without an actually failing filesystem.
+    pub fn inject_error(&mut self, error: std::io::Error) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+    }
+
     /// Flushes and returns the writer; surfaces any I/O error swallowed
     /// during recording (sinks must not perturb simulations, so write
     /// errors are deferred to here).
@@ -463,15 +494,24 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
 
 impl<W: Write> EventSink for JsonlSink<W> {
     fn record(&mut self, event: &Event) {
-        if self.error.is_some() {
-            return;
+        let _ = self.try_record(event);
+    }
+
+    fn try_record(&mut self, event: &Event) -> std::io::Result<()> {
+        // A failed stream stays failed: report the original failure
+        // (by kind and message — `io::Error` is not `Clone`) so a
+        // producer polling `try_record` sees a stable diagnosis.
+        if let Some(e) = &self.error {
+            return Err(std::io::Error::new(e.kind(), e.to_string()));
         }
         let line = event.to_json().to_string_compact();
         if let Err(e) = writeln!(self.out, "{line}") {
+            let reported = std::io::Error::new(e.kind(), e.to_string());
             self.error = Some(e);
-            return;
+            return Err(reported);
         }
         self.lines += 1;
+        Ok(())
     }
 }
 
@@ -589,6 +629,21 @@ mod tests {
         churn.record(&sel(vec![1, 2]));
         churn.record(&sel(vec![1, 3]));
         assert_eq!(churn.transitions(), 1);
+    }
+
+    #[test]
+    fn try_record_surfaces_injected_errors_eagerly() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = sample_events();
+        sink.try_record(&events[0]).expect("in-memory write succeeds");
+        sink.inject_error(std::io::Error::other("injected fault: telemetry-write"));
+        let err = sink.try_record(&events[1]).expect_err("failed stream stays failed");
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(sink.lines(), 1, "no lines counted after the failure");
+        // record() keeps swallowing, finish() still surfaces the error.
+        sink.record(&events[2]);
+        let err = sink.finish().expect_err("finish reports the first error");
+        assert!(err.to_string().contains("injected fault"));
     }
 
     #[test]

@@ -6,13 +6,23 @@
 //! throughput land in `bench_summary.json` next to the CSVs.
 //!
 //! A step that panics is reported and skipped — the remaining steps
-//! still run, and the process exits non-zero naming every failure.
+//! still run, every failure lands in the manifest's `failures` section
+//! and in `failures.json` next to the CSVs, and the process exits
+//! non-zero naming every failed step. Within a step, the runner isolates
+//! panicking jobs the same way (see `DESIGN.md` §11), so partial results
+//! survive as far as each figure allows.
 //! `--telemetry DIR` streams every simulation's events into DIR and
 //! writes a single `manifest.json` covering the whole evaluation.
+//! `--inject-faults SEED` deterministically injects worker panics and
+//! I/O errors to exercise all of the above.
 
+use nucache_experiments::panic_message;
 use nucache_sim::args::Args;
 use nucache_sim::telemetry::{git_revision, take_manifest_config, Manifest};
-use nucache_sim::{default_jobs, set_default_jobs, take_simulated_accesses};
+use nucache_sim::{
+    default_jobs, set_default_jobs, take_degradations, take_failures, take_simulated_accesses,
+    FailureRecord, FaultPlan,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -61,18 +71,42 @@ fn run() -> Result<(), String> {
     if args.flag("help") {
         println!(
             "options: --jobs N (worker threads; default: NUCACHE_JOBS or available parallelism) \
-             --telemetry DIR --help"
+             --telemetry DIR --inject-faults SEED --help"
         );
         return Ok(());
     }
     let jobs: usize = args.get_num("jobs", 0).map_err(|e| e.to_string())?;
     let telemetry = args.get_or("telemetry", "").to_string();
+    let inject = args.get_or("inject-faults", "").to_string();
     args.reject_unknown().map_err(|e| e.to_string())?;
     if jobs >= 1 {
         set_default_jobs(jobs);
     }
+    if !inject.is_empty() {
+        let seed: u64 =
+            inject.parse().map_err(|_| format!("--inject-faults: bad seed '{inject}'"))?;
+        nucache_sim::set_fault_plan(Some(FaultPlan::new(seed)));
+        eprintln!("[run_all] injecting faults with plan seed {seed}");
+    }
     let jobs = default_jobs();
-    eprintln!("[run_all] using {jobs} worker thread{}", if jobs == 1 { "" } else { "s" });
+    // Runners re-derive this policy themselves; surfacing it here makes
+    // a watchdog flag in the log self-explanatory.
+    let policy = nucache_sim::JobPolicy::from_env();
+    let watchdog = match policy.watchdog_secs {
+        Some(nucache_sim::runner::DEFAULT_WATCHDOG_SECS) => String::new(),
+        Some(secs) => format!(", watchdog {secs}s"),
+        None => ", watchdog off".to_string(),
+    };
+    let quick = match nucache_experiments::quick_divisor() {
+        1 => String::new(),
+        div => format!(", quick /{div}"),
+    };
+    eprintln!(
+        "[run_all] using {jobs} worker thread{}, {} retr{}{watchdog}{quick}",
+        if jobs == 1 { "" } else { "s" },
+        policy.max_retries,
+        if policy.max_retries == 1 { "y" } else { "ies" },
+    );
     let telemetry_dir = (!telemetry.is_empty()).then(|| PathBuf::from(telemetry));
     if let Some(dir) = &telemetry_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -82,8 +116,10 @@ fn run() -> Result<(), String> {
 
     let t0 = Instant::now();
     let mut stats: Vec<StepStats> = Vec::new();
-    let mut failures: Vec<&'static str> = Vec::new();
+    let mut failed_steps: Vec<&'static str> = Vec::new();
     take_simulated_accesses(); // discard anything counted before the first step
+    let _ = take_failures(); // clean registries for this run
+    let _ = take_degradations();
     let mut step = |name: &'static str, f: &dyn Fn()| {
         let t = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(f));
@@ -95,11 +131,18 @@ fn run() -> Result<(), String> {
                 simulated_accesses as f64 / seconds.max(1e-9)
             ),
             Ok(()) => eprintln!("[run_all] {name} done in {seconds:.1}s"),
-            Err(_) => {
+            Err(payload) => {
                 // The panic message itself already went to stderr via the
                 // default hook; record the step and move on.
                 eprintln!("[run_all] {name} FAILED after {seconds:.1}s");
-                failures.push(name);
+                failed_steps.push(name);
+                nucache_sim::note_failure(FailureRecord {
+                    stage: name.to_string(),
+                    job: None,
+                    index: None,
+                    attempts: 1,
+                    message: panic_message(payload.as_ref()),
+                });
             }
         }
         stats.push(StepStats { id: name, seconds, simulated_accesses });
@@ -131,6 +174,10 @@ fn run() -> Result<(), String> {
     eprintln!("[run_all] total {total:.1}s");
     write_bench_summary(jobs, total, &stats);
     eprintln!("[run_all] results in {}", nucache_experiments::out_dir().display());
+    let failures = take_failures();
+    let notes = take_degradations();
+    nucache_experiments::write_failures_json(&failures);
+    let n_failures = failures.len();
     if let Some(dir) = &telemetry_dir {
         let manifest = Manifest {
             experiment: "run_all".to_string(),
@@ -141,14 +188,24 @@ fn run() -> Result<(), String> {
             quick: nucache_experiments::quick_mode(),
             config: take_manifest_config(),
             streams: Vec::new(),
+            failures,
+            notes,
         };
         match nucache_sim::write_manifest(dir, &manifest) {
             Ok(path) => eprintln!("[run_all] telemetry in {} ({})", dir.display(), path.display()),
             Err(e) => eprintln!("[run_all] failed to write manifest in {}: {e}", dir.display()),
         }
     }
-    if !failures.is_empty() {
-        return Err(format!("{} step(s) failed: {}", failures.len(), failures.join(", ")));
+    if !failed_steps.is_empty() {
+        return Err(format!(
+            "{} step(s) failed ({} failure record(s)): {}",
+            failed_steps.len(),
+            n_failures,
+            failed_steps.join(", ")
+        ));
+    }
+    if n_failures > 0 {
+        return Err(format!("{n_failures} failure record(s); see failures.json"));
     }
     Ok(())
 }

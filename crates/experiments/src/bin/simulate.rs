@@ -189,6 +189,8 @@ fn run() -> Result<(), String> {
             quick: nucache_experiments::quick_mode(),
             config: take_manifest_config(),
             streams: Vec::new(),
+            failures: nucache_sim::take_failures(),
+            notes: nucache_sim::take_degradations(),
         };
         let path = nucache_sim::write_manifest(dir, &manifest)
             .map_err(|e| format!("writing manifest in {}: {e}", dir.display()))?;

@@ -265,26 +265,45 @@ pub fn run_mix_on_sink(
 /// issued accesses, snapshots cumulative LLC counters every `interval`,
 /// and forwards scheme-internal events (drained from the LLC) in stream
 /// order ahead of each snapshot.
+///
+/// Telemetry is observation-only, so a failing sink degrades instead of
+/// aborting the simulation: the first [`EventSink::try_record`] error
+/// sets `lost` and all later events for this stage are skipped (not even
+/// constructed). The owner of the sink surfaces the error — for
+/// runner-managed JSONL streams that happens at `finish()`, which also
+/// notes the degradation in the run manifest.
 struct TeleCtx<'a> {
     sink: &'a mut dyn EventSink,
     stage: Stage,
     interval: u64,
     issued: u64,
     epochs: u64,
+    lost: bool,
 }
 
 impl<'a> TeleCtx<'a> {
     fn new(sink: &'a mut dyn EventSink, stage: Stage, interval: u64) -> Self {
-        TeleCtx { sink, stage, interval, issued: 0, epochs: 0 }
+        TeleCtx { sink, stage, interval, issued: 0, epochs: 0, lost: false }
+    }
+
+    /// Records one event, degrading to a no-op after the first sink
+    /// error.
+    fn emit(&mut self, event: &Event) {
+        if self.lost {
+            return;
+        }
+        if self.sink.try_record(event).is_err() {
+            self.lost = true;
+        }
     }
 
     /// Emits buffered scheme events followed by one cumulative counter
     /// snapshot for the current stage.
     fn snapshot(&mut self, llc: &mut dyn SharedLlc) {
         for e in llc.drain_events() {
-            self.sink.record(&e);
+            self.emit(&e);
         }
-        self.sink.record(&Event::LlcEpoch {
+        self.emit(&Event::LlcEpoch {
             stage: self.stage,
             index: self.epochs,
             accesses: self.issued,
@@ -311,7 +330,7 @@ impl<'a> TeleCtx<'a> {
             self.snapshot(llc);
         } else {
             for e in llc.drain_events() {
-                self.sink.record(&e);
+                self.emit(&e);
             }
         }
     }

@@ -39,6 +39,30 @@
 //! the driver emits them at deterministic points (issued-access interval
 //! boundaries), so streams are reproducible byte-for-byte.
 //!
+//! # Fault tolerance
+//!
+//! The runner is built to lose as little as possible when something goes
+//! wrong mid-batch (see DESIGN.md §11):
+//!
+//! * every job runs under `catch_unwind` — [`try_parallel_map`] /
+//!   [`Runner::try_run_jobs`] return a per-item `Result`, so one
+//!   panicking job is recorded as a [`JobFailure`] while the rest of the
+//!   batch completes;
+//! * a [`JobPolicy`] adds bounded per-job retry and a wall-clock
+//!   watchdog that flags (never kills) stuck jobs;
+//! * telemetry I/O errors degrade (dropped stream, single stderr
+//!   warning, manifest note) rather than abort — simulation results are
+//!   never affected;
+//! * a seeded fault plan ([`nucache_common::fault`], installed via
+//!   `--inject-faults` / `NUCACHE_FAULTS`) deterministically injects
+//!   worker panics and telemetry/trace I/O errors to exercise all of the
+//!   above; with no plan active these paths are pure observation and
+//!   outputs are bit-identical to a fault-oblivious runner.
+//!
+//! Failures and degradations land in the run manifest's `failures` /
+//! `notes` sections via [`telemetry::note_failure`] and
+//! [`telemetry::note_degradation`].
+//!
 //! # Examples
 //!
 //! ```
@@ -70,8 +94,13 @@ pub use driver::{
 };
 pub use evaluator::Evaluator;
 pub use nucache_cache::AuditStats;
-pub use runner::{default_jobs, parallel_map, set_default_jobs, Runner};
+pub use nucache_common::fault::{active_fault_plan, set_fault_plan, FaultPlan, FaultSite};
+pub use runner::{
+    default_jobs, parallel_map, set_default_jobs, try_parallel_map, JobFailure, JobPolicy,
+    ParallelReport, Runner, StuckJob,
+};
 pub use scheme::Scheme;
 pub use telemetry::{
-    default_telemetry_dir, set_default_telemetry_dir, write_manifest, Manifest, TelemetrySpec,
+    default_telemetry_dir, note_degradation, note_failure, set_default_telemetry_dir,
+    take_degradations, take_failures, write_manifest, FailureRecord, Manifest, TelemetrySpec,
 };

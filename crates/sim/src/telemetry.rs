@@ -14,7 +14,13 @@
 //!   one simulation's event stream;
 //! * [`Manifest`] / [`write_manifest`] — the `manifest.json` that makes
 //!   every emitted CSV reproducible: configuration, git revision,
-//!   wall-clock time and the streams written.
+//!   wall-clock time, the streams written, and — when the run did not go
+//!   cleanly — a `failures` section ([`FailureRecord`]) plus degradation
+//!   `notes`, so partial results are explicitly labelled as partial;
+//! * [`note_failure`] / [`note_degradation`] — process-wide registries
+//!   the runner and driver report into as failures happen; experiment
+//!   drivers drain them ([`take_failures`], [`take_degradations`]) into
+//!   the manifest they write.
 //!
 //! Streams are written one file per (mix, scheme) job, so parallel
 //! runners never contend on a writer and stream contents are
@@ -23,7 +29,7 @@
 use crate::config::SimConfig;
 use nucache_common::json::JsonValue;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Default accesses between periodic LLC counter snapshots — matches the
 /// default NUcache selection epoch, so `llc_epoch` and `selection_epoch`
@@ -73,6 +79,89 @@ pub fn note_manifest_config(config: &SimConfig) {
 /// slot for the next experiment.
 pub fn take_manifest_config() -> Option<SimConfig> {
     config_slot().lock().expect("manifest config lock poisoned").take()
+}
+
+/// One failed pipeline unit — a simulation job that kept panicking, or
+/// an experiment step that aborted — recorded for the run manifest's
+/// `failures` section instead of being lost with the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// Where the failure happened: an experiment step id (`fig5`) or the
+    /// literal `"job"` for a runner-level simulation job.
+    pub stage: String,
+    /// The failed job, as `mix/scheme`, when the failure was job-level.
+    pub job: Option<String>,
+    /// Submission index of the failed job within its runner, when
+    /// job-level.
+    pub index: Option<u64>,
+    /// How many times the unit was attempted before being given up on.
+    pub attempts: u64,
+    /// The panic or error message.
+    pub message: String,
+}
+
+impl FailureRecord {
+    /// Serializes to the object stored in the manifest's `failures`
+    /// array.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("stage", self.stage.as_str().into()),
+            ("job", self.job.as_deref().map_or(JsonValue::Null, JsonValue::from)),
+            ("index", self.index.map_or(JsonValue::Null, JsonValue::from)),
+            ("attempts", self.attempts.into()),
+            ("message", self.message.as_str().into()),
+        ])
+    }
+}
+
+fn failure_slot() -> &'static Mutex<Vec<FailureRecord>> {
+    static SLOT: OnceLock<Mutex<Vec<FailureRecord>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records a failed job or step in the process-wide registry that
+/// [`take_failures`] drains into the run manifest. Callers that recover
+/// from failures still note them — a manifest describing partial
+/// results must say what is missing and why.
+pub fn note_failure(record: FailureRecord) {
+    failure_slot().lock().unwrap_or_else(PoisonError::into_inner).push(record);
+}
+
+/// Removes and returns every failure noted since the last call, sorted
+/// by (stage, index) so the manifest listing is deterministic even
+/// though workers note failures in completion order.
+pub fn take_failures() -> Vec<FailureRecord> {
+    let mut failures =
+        std::mem::take(&mut *failure_slot().lock().unwrap_or_else(PoisonError::into_inner));
+    failures.sort_by(|a, b| (&a.stage, a.index).cmp(&(&b.stage, b.index)));
+    failures
+}
+
+fn degradation_slot() -> &'static Mutex<Vec<String>> {
+    static SLOT: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records a graceful degradation (a telemetry stream lost to an I/O
+/// error, a job flagged as stuck, …) for the manifest's `notes` section.
+/// The first note also warns on stderr; later ones are manifest-only so
+/// a batch with many degraded streams does not bury real output.
+pub fn note_degradation(note: impl Into<String>) {
+    let note = note.into();
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!("[degraded] {note} (further degradations recorded in the run manifest only)");
+    });
+    degradation_slot().lock().unwrap_or_else(PoisonError::into_inner).push(note);
+}
+
+/// Removes and returns every degradation note since the last call,
+/// sorted for a deterministic manifest listing.
+pub fn take_degradations() -> Vec<String> {
+    let mut notes =
+        std::mem::take(&mut *degradation_slot().lock().unwrap_or_else(PoisonError::into_inner));
+    notes.sort();
+    notes
 }
 
 /// Where and how densely one run records telemetry.
@@ -167,6 +256,13 @@ pub struct Manifest {
     pub config: Option<SimConfig>,
     /// JSONL streams written, relative to the manifest's directory.
     pub streams: Vec<String>,
+    /// Jobs and steps that failed; empty for a clean run. A non-empty
+    /// list means every other number in this directory is a *partial*
+    /// result.
+    pub failures: Vec<FailureRecord>,
+    /// Graceful degradations that did not fail anything (lost telemetry
+    /// streams, stuck-job watchdog flags, …).
+    pub notes: Vec<String>,
 }
 
 impl Manifest {
@@ -194,6 +290,11 @@ impl Manifest {
             ("quick", self.quick.into()),
             ("config", config),
             ("streams", JsonValue::Arr(self.streams.iter().map(|s| s.as_str().into()).collect())),
+            (
+                "failures",
+                JsonValue::Arr(self.failures.iter().map(FailureRecord::to_json).collect()),
+            ),
+            ("notes", JsonValue::Arr(self.notes.iter().map(|n| n.as_str().into()).collect())),
         ])
     }
 }
@@ -272,6 +373,14 @@ mod tests {
             quick: true,
             config: Some(SimConfig::demo()),
             streams: Vec::new(),
+            failures: vec![FailureRecord {
+                stage: "fig5".into(),
+                job: Some("mix2_01/nucache-d8".into()),
+                index: Some(3),
+                attempts: 2,
+                message: "injected fault: worker-panic at index 3".into(),
+            }],
+            notes: vec!["telemetry stream lost".into()],
         };
         let path = write_manifest(&dir, &manifest).unwrap();
         let parsed = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
@@ -284,6 +393,43 @@ mod tests {
         let config = parsed.get("config").unwrap();
         assert!(config.get("llc_bytes").unwrap().as_u64().unwrap() > 0);
         assert!(parsed.get("git_revision").unwrap().as_str().is_some());
+        let failures = parsed.get("failures").unwrap().as_arr().unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].get("stage").unwrap().as_str(), Some("fig5"));
+        assert_eq!(failures[0].get("index").unwrap().as_u64(), Some(3));
+        assert_eq!(failures[0].get("attempts").unwrap().as_u64(), Some(2));
+        assert!(failures[0].get("message").unwrap().as_str().unwrap().contains("injected fault"));
+        let notes = parsed.get("notes").unwrap().as_arr().unwrap();
+        assert_eq!(notes.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_registry_drains_sorted() {
+        // The registry is process-wide; drain whatever other tests left
+        // behind first so this test observes only its own records.
+        let _ = take_failures();
+        note_failure(FailureRecord {
+            stage: "job".into(),
+            job: Some("b/lru".into()),
+            index: Some(7),
+            attempts: 1,
+            message: "boom".into(),
+        });
+        note_failure(FailureRecord {
+            stage: "job".into(),
+            job: Some("a/lru".into()),
+            index: Some(2),
+            attempts: 1,
+            message: "boom".into(),
+        });
+        // Other tests in this binary may note failures concurrently, so
+        // assert only on the records this test created: both present,
+        // in (stage, index) order.
+        let ours: Vec<FailureRecord> =
+            take_failures().into_iter().filter(|f| f.message == "boom").collect();
+        assert_eq!(ours.len(), 2);
+        assert_eq!(ours[0].index, Some(2), "sorted by index within a stage");
+        assert_eq!(ours[1].index, Some(7));
     }
 }

@@ -1,0 +1,198 @@
+//! End-to-end checks of the fault-tolerance layer: seeded fault
+//! injection must exercise the degradation paths (isolated worker
+//! panics, dropped telemetry streams) without ever changing a surviving
+//! simulation result, and with injection disabled the machinery must be
+//! invisible.
+//!
+//! Every runner here gets an explicit `with_fault_plan(...)` so the
+//! tests are immune to any process-wide plan.
+
+use nucache_common::fault::{FaultPlan, FaultSite};
+use nucache_sim::telemetry::stream_path;
+use nucache_sim::{JobPolicy, Runner, Scheme, SimConfig, TelemetrySpec};
+use nucache_trace::{Mix, SpecWorkload};
+
+fn config() -> SimConfig {
+    SimConfig::demo().with_run_lengths(1_000, 4_000)
+}
+
+fn job_list(n: usize) -> Vec<(Mix, Scheme)> {
+    (0..n)
+        .map(|i| {
+            let mix =
+                Mix::new(format!("m{i}"), vec![SpecWorkload::HmmerLike, SpecWorkload::GobmkLike]);
+            let scheme = if i % 2 == 0 { Scheme::Lru } else { Scheme::nucache_default() };
+            (mix, scheme)
+        })
+        .collect()
+}
+
+/// No retries, no watchdog: failures surface immediately and the tests
+/// stay fast.
+fn quiet_policy() -> JobPolicy {
+    JobPolicy { max_retries: 0, watchdog_secs: None }
+}
+
+/// Silences the default panic hook for the faults this suite injects on
+/// purpose, forwarding every other panic unchanged.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected fault") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn disabled_injection_and_policy_are_invisible() {
+    let jobs = job_list(4);
+    let base = Runner::new(config()).with_jobs(2).with_fault_plan(None).run_jobs(&jobs);
+    // A different worker count, an aggressive retry budget and a live
+    // watchdog must all be pure observation.
+    let hardened = Runner::new(config())
+        .with_jobs(3)
+        .with_fault_plan(None)
+        .with_policy(JobPolicy { max_retries: 3, watchdog_secs: Some(3_600) })
+        .run_jobs(&jobs);
+    assert_eq!(format!("{base:?}"), format!("{hardened:?}"));
+}
+
+#[test]
+fn injected_worker_panics_isolate_jobs_deterministically() {
+    quiet_injected_panics();
+    let jobs = job_list(8);
+    // A fresh runner numbers these jobs 0..8; pick a plan that fails
+    // some but not all of them.
+    let plan = (0..500)
+        .map(FaultPlan::new)
+        .find(|p| {
+            let n = (0..8).filter(|&i| p.should_fault(FaultSite::WorkerPanic, i)).count();
+            (1..8).contains(&n)
+        })
+        .expect("some small seed fails 1..8 of 8 jobs");
+    let expected_failures: Vec<u64> =
+        (0..8).filter(|&i| plan.should_fault(FaultSite::WorkerPanic, i)).collect();
+
+    let runner = Runner::new(config())
+        .with_jobs(3)
+        .with_policy(JobPolicy { max_retries: 1, watchdog_secs: None })
+        .with_fault_plan(Some(plan));
+    let results = runner.try_run_jobs(&jobs);
+    let clean = Runner::new(config()).with_jobs(2).with_fault_plan(None).run_jobs(&jobs);
+
+    assert_eq!(results.len(), jobs.len());
+    for (i, result) in results.iter().enumerate() {
+        if expected_failures.contains(&(i as u64)) {
+            let failure = result.as_ref().expect_err("planned fault must fail the job");
+            assert_eq!(failure.index, i);
+            assert_eq!(failure.attempts, 2, "deterministic faults fail the retry too");
+            assert!(failure.message.contains("injected fault"), "{}", failure.message);
+            assert!(failure.message.contains("worker-panic"), "{}", failure.message);
+        } else {
+            // Surviving jobs match a clean run exactly.
+            assert_eq!(result.as_ref().ok(), Some(&clean[i]), "job {i} result drifted");
+        }
+    }
+
+    // Failures land in the manifest registry, tagged per job.
+    let marker = format!("plan seed {}", plan.seed());
+    let recorded: Vec<_> = nucache_sim::take_failures()
+        .into_iter()
+        .filter(|f| f.stage == "job" && f.message.contains(&marker))
+        .collect();
+    assert_eq!(recorded.len(), expected_failures.len());
+    for f in &recorded {
+        assert!(f.job.is_some(), "job failures carry mix/scheme names");
+        assert_eq!(f.attempts, 2);
+    }
+
+    // Same plan, fresh runner: bit-identical outcomes.
+    let again = Runner::new(config())
+        .with_jobs(5)
+        .with_policy(JobPolicy { max_retries: 1, watchdog_secs: None })
+        .with_fault_plan(Some(plan))
+        .try_run_jobs(&jobs);
+    assert_eq!(format!("{results:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn injected_telemetry_faults_degrade_without_changing_results() {
+    let jobs = job_list(4);
+    // Want: at least one stream-creation fault, at least one write fault
+    // on a job whose creation succeeds, and no worker panics in 0..4.
+    let plan = (0..5_000)
+        .map(FaultPlan::new)
+        .find(|p| {
+            let create = |i| p.should_fault(FaultSite::TelemetryCreate, i);
+            let write = |i| p.should_fault(FaultSite::TelemetryWrite, i);
+            let panic = |i| p.should_fault(FaultSite::WorkerPanic, i);
+            (0..4).any(create) && (0..4).any(|i| write(i) && !create(i)) && !(0..4).any(panic)
+        })
+        .expect("some small seed hits both telemetry sites without worker panics");
+
+    let dir = std::env::temp_dir()
+        .join("nucache_fault_injection_test")
+        .join(format!("tele_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let spec = TelemetrySpec { dir: dir.clone(), snapshot_interval: 2_000 };
+
+    let runner = Runner::new(config())
+        .with_jobs(2)
+        .with_policy(quiet_policy())
+        .with_fault_plan(Some(plan))
+        .with_telemetry(Some(spec));
+    let results = runner.try_run_jobs(&jobs);
+
+    // Telemetry faults never fail a job or change its result.
+    let clean = Runner::new(config())
+        .with_jobs(2)
+        .with_fault_plan(None)
+        .with_telemetry(None)
+        .run_jobs(&jobs);
+    for (i, result) in results.iter().enumerate() {
+        assert_eq!(result.as_ref().ok(), Some(&clean[i]), "job {i} perturbed by telemetry fault");
+    }
+
+    // Faulted streams are absent (never created, or removed as partial);
+    // healthy streams exist and are non-empty.
+    for (i, (mix, scheme)) in jobs.iter().enumerate() {
+        let path = stream_path(&dir, i, mix.name(), &scheme.name());
+        let faulted = plan.should_fault(FaultSite::TelemetryCreate, i as u64)
+            || plan.should_fault(FaultSite::TelemetryWrite, i as u64);
+        if faulted {
+            assert!(!path.exists(), "faulted stream {} must not survive", path.display());
+        } else {
+            let bytes = std::fs::read(&path).expect("healthy stream exists");
+            assert!(!bytes.is_empty(), "healthy stream {} is empty", path.display());
+        }
+    }
+
+    // Each degraded stream left a note for the manifest.
+    let notes: Vec<String> = nucache_sim::take_degradations()
+        .into_iter()
+        .filter(|n| n.contains("telemetry stream") || n.contains("injected fault"))
+        .collect();
+    let degraded = (0..4)
+        .filter(|&i| {
+            plan.should_fault(FaultSite::TelemetryCreate, i)
+                || plan.should_fault(FaultSite::TelemetryWrite, i)
+        })
+        .count();
+    assert!(
+        notes.len() >= degraded,
+        "expected at least {degraded} degradation notes, got {notes:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,6 +12,7 @@
 //!
 //! All integers are little-endian.
 
+use nucache_common::fault::{active_fault_plan, FaultPlan, FaultSite};
 use nucache_common::{Access, AccessKind, Addr, CoreId, Pc};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -63,11 +64,32 @@ pub fn write_trace<P: AsRef<Path>>(path: P, accesses: &[Access]) -> io::Result<(
 
 /// Reads a trace previously written by [`write_trace`].
 ///
+/// When a process-wide fault plan is active
+/// ([`nucache_common::fault::active_fault_plan`]), reads additionally
+/// surface deterministically injected malformed records as
+/// `InvalidData` errors, exercising callers' degradation paths.
+///
 /// # Errors
 ///
 /// Returns `InvalidData` for a bad magic, unsupported version or
 /// truncated file, and propagates underlying I/O errors.
 pub fn read_trace<P: AsRef<Path>>(path: P) -> io::Result<Vec<Access>> {
+    read_trace_with_plan(path, active_fault_plan())
+}
+
+/// [`read_trace`] with an explicit fault plan (`None` disables
+/// injection regardless of the process-wide plan). A plan makes record
+/// `i` malformed whenever the plan's
+/// [`TraceRecord`](FaultSite::TraceRecord) stream faults at `i`.
+///
+/// # Errors
+///
+/// As [`read_trace`], plus an `InvalidData` error at every injected
+/// malformed record.
+pub fn read_trace_with_plan<P: AsRef<Path>>(
+    path: P,
+    plan: Option<FaultPlan>,
+) -> io::Result<Vec<Access>> {
     let mut r = BufReader::new(File::open(path)?);
     let mut header = [0u8; 16];
     r.read_exact(&mut header)?;
@@ -95,6 +117,14 @@ pub fn read_trace<P: AsRef<Path>>(path: P) -> io::Result<Vec<Access>> {
                 e
             }
         })?;
+        if let Some(plan) = &plan {
+            if plan.should_fault(FaultSite::TraceRecord, i) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} of {count}", plan.message(FaultSite::TraceRecord, i)),
+                ));
+            }
+        }
         let kind = if rec[1] != 0 { AccessKind::Write } else { AccessKind::Read };
         let gap = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
         let pc = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
@@ -154,6 +184,27 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
         let err = read_trace(&path).unwrap_err();
         assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn injected_malformed_records_surface_as_invalid_data() {
+        use nucache_common::fault::{FaultPlan, FaultSite};
+        let accesses: Vec<Access> =
+            TraceGen::new(&SpecWorkload::McfLike.spec(), CoreId::new(0), 5).take(5_000).collect();
+        let path = tmp("inject.nutr");
+        write_trace(&path, &accesses).expect("write");
+        // Find a seed whose TraceRecord stream faults somewhere in range
+        // (the per-record rate is low, so scan a few seeds).
+        let plan = (0..64)
+            .map(FaultPlan::new)
+            .find(|p| (0..5_000).any(|i| p.should_fault(FaultSite::TraceRecord, i)))
+            .expect("some small seed faults within 5000 records");
+        let err = read_trace_with_plan(&path, Some(plan)).expect_err("injected record fails");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("injected fault"), "got: {err}");
+        // Same plan, same outcome; no plan, clean read.
+        assert!(read_trace_with_plan(&path, Some(plan)).is_err());
+        assert_eq!(read_trace_with_plan(&path, None).expect("clean read"), accesses);
     }
 
     #[test]

@@ -163,6 +163,28 @@ proptest! {
     }
 }
 
+/// Silences the default panic hook for the panics this suite injects on
+/// purpose (hundreds of them across proptest cases), while forwarding
+/// every other panic to the previous hook unchanged.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected test panic") {
+                prev(info);
+            }
+        }));
+    });
+}
+
 /// The parallel runner is an optimization, not a semantic change: a
 /// serial run (`--jobs 1`) and any worker count must produce
 /// byte-identical results for the same job list. `Debug` formatting
@@ -188,6 +210,51 @@ fn runner_output_is_identical_at_any_job_count() {
             format!("{parallel:?}"),
             "results diverged between --jobs 1 and --jobs {workers}"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Panic isolation in the fault-tolerant runner core: for any mix of
+    /// healthy and panicking jobs, any worker count and any retry
+    /// budget, `try_parallel_map` still returns a slot for every item in
+    /// input order — healthy items carry exactly the value a serial run
+    /// produces, panicking items carry their own index, the exhausted
+    /// attempt count and the panic message.
+    #[test]
+    fn try_parallel_map_isolates_injected_panics(
+        items in prop::collection::vec((0u64..1000, prop::bool::weighted(0.25)), 0..40),
+        workers in 1usize..9,
+        retries in 0u32..3,
+    ) {
+        use nucache_repro::sim::{try_parallel_map, JobFailure, JobPolicy, ParallelReport, StuckJob};
+
+        quiet_injected_panics();
+        let policy = JobPolicy { max_retries: retries, watchdog_secs: None };
+        let f = |&(value, poisoned): &(u64, bool)| {
+            assert!(!poisoned, "injected test panic on {value}");
+            value.wrapping_mul(3) ^ 1
+        };
+        let report: ParallelReport<u64> = try_parallel_map(workers, &items, &policy, f);
+        let stuck: &[StuckJob] = &report.stuck;
+        prop_assert!(stuck.is_empty(), "no watchdog, no flags: {stuck:?}");
+        prop_assert_eq!(report.results.len(), items.len());
+        for (i, ((value, poisoned), result)) in items.iter().zip(&report.results).enumerate() {
+            if *poisoned {
+                let failure: &JobFailure = result.as_ref().expect_err("poisoned items must fail");
+                prop_assert_eq!(failure.index, i);
+                prop_assert_eq!(failure.attempts, u64::from(retries) + 1);
+                prop_assert!(
+                    failure.message.contains("injected test panic"),
+                    "unexpected message: {}", failure.message
+                );
+            } else {
+                prop_assert_eq!(result.as_ref().ok(), Some(&(value.wrapping_mul(3) ^ 1)));
+            }
+        }
+        // The parallel report must agree with a fully serial run.
+        let serial = try_parallel_map(1, &items, &policy, f);
+        prop_assert_eq!(&report.results, &serial.results);
     }
 }
 

@@ -180,8 +180,36 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     }
 }
 
-/// The `prop::` namespace (`prop::collection::vec`).
+/// The `prop::` namespace (`prop::collection::vec`, `prop::bool`).
 pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        use rand::RngExt;
+
+        /// Strategy producing `true` with probability `p`, mirroring
+        /// `proptest::bool::weighted`.
+        pub fn weighted(p: f64) -> Weighted {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+            Weighted { p }
+        }
+
+        /// Strategy returned by [`weighted`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Weighted {
+            p: f64,
+        }
+
+        impl Strategy for Weighted {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.inner.random_bool(self.p)
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use crate::test_runner::TestRng;
@@ -219,7 +247,7 @@ pub mod prop {
             VecStrategy { element, size: size.into() }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         #[derive(Debug)]
         pub struct VecStrategy<S> {
             element: S,
