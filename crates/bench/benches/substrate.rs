@@ -2,7 +2,7 @@
 //! the LRU cache, and the private hierarchy.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use nucache_bench::{drive_policy_cache, mixed_pattern};
+use nucache_bench::{drive_policy_cache, fill_find_churn, mixed_pattern};
 use nucache_cache::hierarchy::PrivateHierarchy;
 use nucache_cache::meta::LineMeta;
 use nucache_cache::policy::Lru;
@@ -25,28 +25,15 @@ fn bench_set_array(c: &mut Criterion) {
     });
     // Steady-state churn: interleaved fills, probes and invalidations
     // across many sets — the access pattern the simulator actually
-    // produces, rather than a single hot set.
-    const CHURN: usize = 100_000;
-    group.throughput(Throughput::Elements(CHURN as u64));
+    // produces, rather than a single hot set. The loop itself lives in
+    // `nucache_bench::fill_find_churn` so the `summary` perf-trajectory
+    // binary measures the identical workload.
+    const CHURN: u64 = 100_000;
+    group.throughput(Throughput::Elements(CHURN));
     group.bench_function("fill_find_churn_100k", |b| {
         b.iter_batched_ref(
             || SetArray::new(geom),
-            |arr| {
-                let sets = arr.geometry().num_sets();
-                let ways = arr.geometry().associativity();
-                let mut hits = 0u64;
-                for i in 0..CHURN as u64 {
-                    let set = (i as usize).wrapping_mul(7) % sets;
-                    let way = (i as usize).wrapping_mul(5) % ways;
-                    let tag = i % 32;
-                    arr.fill(set, way, LineMeta::new(tag, CoreId::new(0), Pc::new(0), i & 3 == 0));
-                    hits += u64::from(arr.find(set, tag).is_some());
-                    if i % 9 == 0 {
-                        arr.invalidate(set, way);
-                    }
-                }
-                black_box(hits)
-            },
+            |arr| black_box(fill_find_churn(arr, CHURN)),
             BatchSize::LargeInput,
         );
     });

@@ -7,12 +7,15 @@
 //!   policy cache and return its hit count;
 //! * [`drive_shared_llc`] — the same against any [`SharedLlc`];
 //! * [`mixed_pattern`] — the loop+scan pattern used across policy
-//!   benches, pre-generated so benches measure the cache, not the RNG.
+//!   benches, pre-generated so benches measure the cache, not the RNG;
+//! * [`fill_find_churn`] — the steady-state tag-array churn loop shared
+//!   by the Criterion bench and the `summary` perf-trajectory binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nucache_cache::{BasicCache, ReplacementPolicy, SharedLlc};
+use nucache_cache::meta::LineMeta;
+use nucache_cache::{BasicCache, ReplacementPolicy, SetArray, SharedLlc};
 use nucache_common::{AccessKind, CoreId, DetRng, LineAddr, Pc};
 
 /// One pre-generated access: line plus attributed PC.
@@ -51,6 +54,40 @@ pub fn drive_policy_cache<P: ReplacementPolicy>(
     for &(line, pc) in pattern {
         if cache.access(line, AccessKind::Read, core, pc).is_hit() {
             hits += 1;
+        }
+    }
+    hits
+}
+
+/// Steady-state tag-array churn: `n` rounds of interleaved fills, probes
+/// and invalidations across many sets — the access pattern the simulator
+/// actually produces, rather than a single hot set. Returns the hit
+/// count so callers can black-box it.
+///
+/// This is the canonical `fill_find_churn` workload: the Criterion bench
+/// (`benches/substrate.rs`) and the `summary` binary both run exactly
+/// this loop, so their numbers are comparable across PRs.
+pub fn fill_find_churn(arr: &mut SetArray, n: u64) -> u64 {
+    let sets = arr.geometry().num_sets();
+    let ways = arr.geometry().associativity();
+    // Geometries guarantee power-of-two set counts; the bench geometries
+    // use power-of-two associativity too, so the index math reduces to
+    // masks (same values as `% sets` / `% ways`, no division in the
+    // harness — the loop measures the array, not the modulo unit).
+    assert!(
+        sets.is_power_of_two() && ways.is_power_of_two(),
+        "fill_find_churn expects power-of-two geometry"
+    );
+    let (set_mask, way_mask) = (sets - 1, ways - 1);
+    let mut hits = 0u64;
+    for i in 0..n {
+        let set = (i as usize).wrapping_mul(7) & set_mask;
+        let way = (i as usize).wrapping_mul(5) & way_mask;
+        let tag = i % 32;
+        arr.fill(set, way, LineMeta::new(tag, CoreId::new(0), Pc::new(0), i & 3 == 0));
+        hits += u64::from(arr.find(set, tag).is_some());
+        if i % 9 == 0 {
+            arr.invalidate(set, way);
         }
     }
     hits

@@ -6,6 +6,41 @@ use crate::meta::{EvictedLine, LineMeta};
 use nucache_common::{CoreId, LineAddr, Pc};
 use std::cell::Cell;
 
+/// Tag-equality bitmask over a row of exactly `N` tags: bit `i` is set
+/// when `row[i] == tag`. The const trip count lets the compiler unroll
+/// and auto-vectorize the compares (u64x4-wide compare + movemask on
+/// SSE/AVX targets). Returns 0 when `row.len() != N`; callers dispatch
+/// on the length, so the mismatch arm is unreachable.
+#[inline(always)]
+fn eq_mask<const N: usize>(row: &[u64], tag: u64) -> u64 {
+    debug_assert_eq!(row.len(), N, "eq_mask dispatched with the wrong width");
+    let mut m = 0u64;
+    if let Ok(arr) = <&[u64; N]>::try_from(row) {
+        for (i, &t) in arr.iter().enumerate() {
+            m |= u64::from(t == tag) << i;
+        }
+    }
+    m
+}
+
+/// [`eq_mask`] for uncommon associativities: the same compare, four ways
+/// per step, with a runtime trip count.
+fn eq_mask_any(row: &[u64], tag: u64) -> u64 {
+    let (quads, tail) = row.split_at(row.len() & !3);
+    let mut matches = 0u64;
+    for (qi, q) in quads.chunks_exact(4).enumerate() {
+        let m = u64::from(q[0] == tag)
+            | u64::from(q[1] == tag) << 1
+            | u64::from(q[2] == tag) << 2
+            | u64::from(q[3] == tag) << 3;
+        matches |= m << (4 * qi);
+    }
+    for (j, &t) in tail.iter().enumerate() {
+        matches |= u64::from(t == tag) << (quads.len() + j);
+    }
+    matches
+}
+
 /// Tag/metadata storage for a set-associative structure, with no
 /// replacement policy of its own.
 ///
@@ -156,14 +191,23 @@ impl SetArray {
     }
 
     /// Way holding `tag` in `set`, if resident.
+    ///
+    /// The compare runs u64x4-wide over the packed tag row: the row is
+    /// sliced once (one bounds check) and compared with a compile-time
+    /// trip count for the common associativities, so the compiler fully
+    /// unrolls each row into SIMD compare + movemask steps instead of a
+    /// scalar compare-per-way loop it cannot unroll.
     #[inline]
     pub fn find(&self, set: usize, tag: u64) -> Option<usize> {
         let base = self.base(set);
         let assoc = self.geom.associativity();
-        let mut matches = 0u64;
-        for way in 0..assoc {
-            matches |= u64::from(self.tags[base + way] == tag) << way;
-        }
+        let row = &self.tags[base..base + assoc];
+        let matches = match assoc {
+            16 => eq_mask::<16>(row, tag),
+            8 => eq_mask::<8>(row, tag),
+            4 => eq_mask::<4>(row, tag),
+            _ => eq_mask_any(row, tag),
+        };
         let hits = matches & self.valid[set];
         let found = if hits == 0 { None } else { Some(hits.trailing_zeros() as usize) };
         if let Some(m) = &self.mirror {
@@ -216,13 +260,32 @@ impl SetArray {
         Some(meta)
     }
 
+    /// The displaced-line view of `(set, way)`, read straight from the
+    /// packed columns (no `LineMeta` reassembly round-trip). Forced
+    /// inline: it sits on the fill/evict hot path and the compiler
+    /// otherwise outlines it once `fill` is itself inlined into a large
+    /// caller.
+    #[inline(always)]
+    fn read_evicted(&self, set: usize, bit: u64, i: usize) -> Option<EvictedLine> {
+        if self.valid[set] & bit == 0 {
+            return None;
+        }
+        Some(EvictedLine {
+            line: self.geom.line_of(self.tags[i], set),
+            dirty: self.dirty[set] & bit != 0,
+            core: self.cores[i],
+            pc: self.pcs[i],
+        })
+    }
+
     /// Writes `meta` into `(set, way)`, returning the displaced line (as an
     /// [`EvictedLine`] with its full address reconstructed) if the frame
     /// was valid.
+    #[inline]
     pub fn fill(&mut self, set: usize, way: usize, meta: LineMeta) -> Option<EvictedLine> {
-        let old = self.get(set, way).map(|m| self.to_evicted(set, m));
         let bit = self.way_bit(set, way);
         let i = self.base(set) + way;
+        let old = self.read_evicted(set, bit, i);
         self.tags[i] = meta.tag;
         self.cores[i] = meta.core;
         self.pcs[i] = meta.pc;
@@ -240,9 +303,10 @@ impl SetArray {
     }
 
     /// Invalidates `(set, way)`, returning the line that was there.
+    #[inline]
     pub fn invalidate(&mut self, set: usize, way: usize) -> Option<EvictedLine> {
-        let old = self.get(set, way).map(|m| self.to_evicted(set, m));
         let bit = self.way_bit(set, way);
+        let old = self.read_evicted(set, bit, self.base(set) + way);
         self.valid[set] &= !bit;
         self.dirty[set] &= !bit;
         if let Some(m) = &mut self.mirror {
@@ -258,6 +322,7 @@ impl SetArray {
     ///
     /// Panics if the frame is invalid — callers only mark lines they just
     /// hit or filled.
+    #[inline]
     pub fn mark_dirty(&mut self, set: usize, way: usize) {
         let bit = self.way_bit(set, way);
         assert!(self.valid[set] & bit != 0, "marking an invalid frame dirty");
@@ -304,8 +369,25 @@ impl SetArray {
         self.tags[i] = tag;
     }
 
-    fn to_evicted(&self, set: usize, m: LineMeta) -> EvictedLine {
-        EvictedLine { line: self.geom.line_of(m.tag, set), dirty: m.dirty, core: m.core, pc: m.pc }
+    /// Valid-way bitmask for `set` (bit `way` set when the frame holds a
+    /// line). Lets organizations walk only the occupied ways of a set
+    /// (`mask.trailing_zeros()` chains) instead of probing every frame
+    /// through [`SetArray::get`].
+    #[inline]
+    pub fn valid_mask(&self, set: usize) -> u64 {
+        debug_assert!(set < self.geom.num_sets(), "set index out of range");
+        self.valid[set]
+    }
+
+    /// Owner-core column for `set`: one entry per way, in way order.
+    /// Entries for invalid ways are stale — combine with
+    /// [`SetArray::valid_mask`] to walk only live lines. This is the
+    /// cheap path for quota/occupancy scans that would otherwise
+    /// reassemble a full [`LineMeta`] per way through [`SetArray::get`].
+    #[inline]
+    pub fn core_column(&self, set: usize) -> &[CoreId] {
+        let base = self.base(set);
+        &self.cores[base..base + self.geom.associativity()]
     }
 }
 

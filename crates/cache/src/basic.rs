@@ -78,6 +78,7 @@ impl<P: ReplacementPolicy> BasicCache<P> {
     }
 
     /// Performs one demand access, filling on a miss.
+    #[inline]
     pub fn access(
         &mut self,
         line: LineAddr,
@@ -109,6 +110,22 @@ impl<P: ReplacementPolicy> BasicCache<P> {
         }
         self.policy.on_fill(set, way, &ctx);
         AccessOutcome::Miss { evicted }
+    }
+
+    /// Re-touches a resident line as a write (hit bookkeeping, recency
+    /// refresh, dirty mark); does nothing when the line is absent. This
+    /// is the write-back absorb path: it behaves exactly like a write
+    /// [`BasicCache::access`] that hits, but a missing line is not a
+    /// recorded miss (and does not allocate) — the write-back simply
+    /// continues downstream.
+    pub fn rehit_write(&mut self, line: LineAddr) {
+        let geom = *self.array.geometry();
+        let set = geom.set_of(line);
+        if let Some(way) = self.array.find(set, geom.tag_of(line)) {
+            self.stats.record_hit();
+            self.policy.on_hit(set, way);
+            self.array.mark_dirty(set, way);
+        }
     }
 
     /// Looks a line up without touching replacement state or counters.

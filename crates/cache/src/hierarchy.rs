@@ -91,6 +91,7 @@ impl PrivateHierarchy {
     }
 
     /// Runs one access through L1 then L2.
+    #[inline]
     pub fn access(&mut self, pc: Pc, line: LineAddr, kind: AccessKind) -> PrivateOutcome {
         let l1_out = self.l1.access(line, kind, self.core, pc);
         if l1_out.is_hit() {
@@ -113,13 +114,11 @@ impl PrivateHierarchy {
     }
 
     fn l2_absorb_writeback(&mut self, line: LineAddr) {
-        let geom = *self.l2.geometry();
-        let set = geom.set_of(line);
-        if self.l2.array().find(set, geom.tag_of(line)).is_some() {
-            // Re-access as a write so the line is marked dirty; this also
-            // (reasonably) refreshes its recency.
-            self.l2.access(line, AccessKind::Write, self.core, Pc::new(0));
-        }
+        // Re-touch as a write so the line is marked dirty; this also
+        // (reasonably) refreshes its recency. The probe-then-touch is a
+        // single tag lookup; a missing line means the write-back already
+        // left the L2 and proceeds downstream invisibly for our purposes.
+        self.l2.rehit_write(line);
     }
 
     /// Total demand accesses seen at L1.

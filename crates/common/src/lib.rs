@@ -37,6 +37,6 @@ pub use addr::{Addr, CoreId, LineAddr, Pc};
 pub use fault::{active_fault_plan, set_fault_plan, FaultPlan, FaultSite};
 pub use histogram::Log2Histogram;
 pub use json::JsonValue;
-pub use rng::DetRng;
+pub use rng::{DetRng, FastRange};
 pub use stats::CacheStats;
 pub use telemetry::{CounterSink, Event, EventSink, JsonlSink, NullSink};

@@ -41,6 +41,7 @@ impl DetRng {
     }
 
     /// Next raw 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.inner.random()
     }
@@ -50,6 +51,7 @@ impl DetRng {
     /// # Panics
     ///
     /// Panics if `bound` is 0.
+    #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         self.inner.random_range(0..bound)
@@ -60,17 +62,20 @@ impl DetRng {
     /// # Panics
     ///
     /// Panics if `bound` is 0.
+    #[inline]
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
         self.inner.random_range(0..bound)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.inner.random_bool(p.clamp(0.0, 1.0))
     }
 
     /// Uniform `f64` in `[0,1)`.
+    #[inline]
     pub fn unit(&mut self) -> f64 {
         self.inner.random()
     }
@@ -80,6 +85,7 @@ impl DetRng {
     /// # Panics
     ///
     /// Panics if `lo > hi`.
+    #[inline]
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
         self.inner.random_range(lo..=hi)
@@ -90,6 +96,94 @@ impl DetRng {
         for i in (1..slice.len()).rev() {
             let j = self.index(i + 1);
             slice.swap(i, j);
+        }
+    }
+
+    /// Uniform draw from a precomputed [`FastRange`] — bit-identical to
+    /// [`DetRng::below`] / [`DetRng::range_inclusive`] with the same
+    /// bounds, but without the per-draw hardware division. Hot loops that
+    /// draw from a fixed range repeatedly (trace generation) precompute
+    /// the range once and use this.
+    #[inline]
+    pub fn draw(&mut self, range: &FastRange) -> u64 {
+        range.lo + range.reduce(self.next_u64())
+    }
+}
+
+/// A uniform integer range with a precomputed Granlund–Montgomery
+/// reciprocal, so repeated draws replace the `x % span` hardware divide
+/// with a widening multiply plus one conditional subtract.
+///
+/// The reduction is exact — `reduce(x) == x % span` for every `x` — so
+/// [`DetRng::draw`] consumes and produces the very same values as the
+/// division-based helpers ([`DetRng::below`], [`DetRng::range_inclusive`])
+/// and can replace them without perturbing any stream.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_common::{DetRng, FastRange};
+/// let mut a = DetRng::seed(7);
+/// let mut b = DetRng::seed(7);
+/// let gap = FastRange::inclusive(2, 9);
+/// for _ in 0..100 {
+///     assert_eq!(a.draw(&gap), b.range_inclusive(2, 9));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FastRange {
+    lo: u64,
+    /// Number of representable values; 0 encodes the full 2^64 span.
+    span: u64,
+    /// `floor(2^64 / span)`; 0 when `span` is a power of two (mask path).
+    magic: u64,
+}
+
+impl FastRange {
+    /// Range `[0, bound)`, matching [`DetRng::below`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn below(bound: u64) -> Self {
+        assert!(bound > 0, "bound must be positive");
+        Self::inclusive(0, bound - 1)
+    }
+
+    /// Range `[lo, hi]`, matching [`DetRng::range_inclusive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn inclusive(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty range");
+        let Some(span) = (hi - lo).checked_add(1) else {
+            return FastRange { lo, span: 0, magic: 0 };
+        };
+        // For non-powers of two, floor((2^64-1)/span) == floor(2^64/span)
+        // (span would have to divide 2^64, i.e. be a power of two).
+        let magic = if span.is_power_of_two() { 0 } else { u64::MAX / span };
+        FastRange { lo, span, magic }
+    }
+
+    /// Exact `x % span` via the precomputed reciprocal.
+    ///
+    /// With `m = floor(2^64/span)`, `q = (x*m) >> 64` satisfies
+    /// `q ∈ {x/span - 1, x/span}`, so `x - q*span < 2*span` and a single
+    /// conditional subtract recovers the exact remainder.
+    #[inline]
+    fn reduce(&self, x: u64) -> u64 {
+        if self.magic == 0 {
+            // Power-of-two span (mask) or full-range (span == 0: the
+            // wrapping sub makes the mask u64::MAX, i.e. `x` unchanged).
+            return x & self.span.wrapping_sub(1);
+        }
+        let q = ((x as u128 * self.magic as u128) >> 64) as u64;
+        let r = x - q * self.span;
+        if r >= self.span {
+            r - self.span
+        } else {
+            r
         }
     }
 }
@@ -142,6 +236,39 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fast_range_matches_division_helpers() {
+        // Identical streams: the reciprocal draw must consume and produce
+        // exactly what the division-based helpers do, for pow2 and
+        // non-pow2 spans alike.
+        for bound in [1u64, 2, 3, 7, 10, 64, 1000, 1 << 33, u64::MAX] {
+            let mut a = DetRng::seed(41);
+            let mut b = DetRng::seed(41);
+            let fast = FastRange::below(bound);
+            for _ in 0..200 {
+                assert_eq!(a.draw(&fast), b.below(bound), "bound {bound}");
+            }
+        }
+        for (lo, hi) in [(0u64, 0u64), (2, 4), (5, 5), (100, 1 << 40), (0, u64::MAX)] {
+            let mut a = DetRng::seed(17);
+            let mut b = DetRng::seed(17);
+            let fast = FastRange::inclusive(lo, hi);
+            for _ in 0..200 {
+                assert_eq!(a.draw(&fast), b.range_inclusive(lo, hi), "range {lo}..={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_range_reduce_is_exact_modulo() {
+        for span in [3u64, 5, 6, 7, 9, 100, (1 << 20) - 1, u64::MAX - 1] {
+            let f = FastRange::below(span);
+            for x in [0u64, 1, span - 1, span, span + 1, u64::MAX / 2, u64::MAX] {
+                assert_eq!(f.reduce(x), x % span, "x {x} span {span}");
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,16 @@ use std::collections::{BTreeMap, BTreeSet};
 /// the rejected tail the cost-benefit analysis argued about.
 const TELEMETRY_TOP_PCS: usize = 16;
 
+/// Mask with the low `n` bits set (`n` up to 64).
+#[inline]
+const fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 /// A shared LLC organized as NUcache.
 ///
 /// Each set's ways are split into `M` MainWays (LRU, all lines) and `D`
@@ -345,6 +355,15 @@ impl NuCache {
         set * self.array.geometry().associativity() + way
     }
 
+    /// First invalid way among the MainWays of `set`, from the valid
+    /// bitmask — the bit scan replaces a per-way [`SetArray::get`] probe
+    /// on the miss path.
+    #[inline]
+    fn free_main_way(&self, set: usize) -> Option<usize> {
+        let free = !self.array.valid_mask(set) & low_mask(self.main_ways);
+        (free != 0).then(|| free.trailing_zeros() as usize)
+    }
+
     fn touch_main(&mut self, set: usize, way: usize) {
         self.stamp += 1;
         let f = self.frame(set, way);
@@ -360,10 +379,10 @@ impl NuCache {
 
     /// FIFO victim among the DeliWays of `set`, or the first invalid one.
     fn deli_slot(&self, set: usize) -> usize {
-        for w in self.main_ways..self.main_ways + self.deli_ways {
-            if self.array.get(set, w).is_none() {
-                return w;
-            }
+        debug_assert!(self.deli_ways > 0, "deli_slot needs DeliWays");
+        let free = (!self.array.valid_mask(set) >> self.main_ways) & low_mask(self.deli_ways);
+        if free != 0 {
+            return self.main_ways + free.trailing_zeros() as usize;
         }
         (self.main_ways..self.main_ways + self.deli_ways)
             .min_by_key(|&w| self.deli_entry[self.frame(set, w)])
@@ -537,9 +556,7 @@ impl SharedLlc for NuCache {
                     // PC is chosen).
                     let deli_meta = self.array.get(set, way).expect("hit way valid");
                     self.array.invalidate(set, way);
-                    let mv = (0..self.main_ways)
-                        .find(|&w| self.array.get(set, w).is_none())
-                        .unwrap_or_else(|| self.main_victim(set));
+                    let mv = self.free_main_way(set).unwrap_or_else(|| self.main_victim(set));
                     if let Some(victim) = self.array.invalidate(set, mv) {
                         if let Some(leaving) = self.retire_from_main(set, victim) {
                             self.stats.record_eviction(leaving.dirty);
@@ -563,7 +580,7 @@ impl SharedLlc for NuCache {
         // Fill into the MainWays: invalid way first, else LRU victim whose
         // line retires (possibly into the DeliWays).
         let meta = LineMeta::new(tag, core, pc, kind.is_write());
-        let (way, leaving) = match (0..self.main_ways).find(|&w| self.array.get(set, w).is_none()) {
+        let (way, leaving) = match self.free_main_way(set) {
             Some(w) => (w, None),
             None => {
                 let w = self.main_victim(set);

@@ -36,9 +36,8 @@ pub const STREAM_UTILITY_THRESHOLD: f64 = 0.02;
 #[derive(Debug)]
 pub struct PippLlc {
     array: SetArray,
-    /// Recency stacks: `stack[set]` lists ways MRU-first. Only valid ways
-    /// appear.
-    stacks: Vec<Vec<u8>>,
+    /// Per-set recency stacks, flattened into one whole-LLC allocation.
+    stacks: RecencyStacks,
     monitors: Vec<UtilityMonitor>,
     alloc: Vec<usize>,
     streaming: Vec<bool>,
@@ -69,7 +68,7 @@ impl PippLlc {
         }
         PippLlc {
             array: SetArray::new(geom),
-            stacks: vec![Vec::with_capacity(geom.associativity()); geom.num_sets()],
+            stacks: RecencyStacks::new(geom.num_sets(), geom.associativity()),
             monitors: (0..num_cores)
                 .map(|_| UtilityMonitor::new(&geom, 5.min(geom.set_bits())))
                 .collect(),
@@ -130,6 +129,77 @@ impl PippLlc {
     }
 }
 
+/// Per-set recency stacks flattened into one whole-LLC allocation:
+/// `ways[set*assoc .. set*assoc + len[set]]` lists ways MRU-first, only
+/// valid ways appear. One contiguous buffer instead of a `Vec` per set
+/// keeps the hot promote/insert/pop paths on a single allocation.
+#[derive(Debug)]
+struct RecencyStacks {
+    ways: Vec<u8>,
+    len: Vec<u8>,
+    assoc: usize,
+}
+
+impl RecencyStacks {
+    fn new(sets: usize, assoc: usize) -> Self {
+        assert!(assoc <= u8::MAX as usize, "associativity exceeds stack element range");
+        RecencyStacks { ways: vec![0; sets * assoc], len: vec![0; sets], assoc }
+    }
+
+    /// The occupied portion of `set`'s stack, MRU-first (test inspection
+    /// only — the hot paths index the flat arrays directly).
+    #[cfg(test)]
+    fn set(&self, set: usize) -> &[u8] {
+        let base = set * self.assoc;
+        &self.ways[base..base + self.len[set] as usize]
+    }
+
+    #[inline]
+    fn len_of(&self, set: usize) -> usize {
+        self.len[set] as usize
+    }
+
+    /// Moves `way` one position toward MRU (no-op if already MRU-most).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is not resident in the stack.
+    #[inline]
+    fn promote_one(&mut self, set: usize, way: usize) {
+        let base = set * self.assoc;
+        let stack = &mut self.ways[base..base + self.len[set] as usize];
+        let pos = stack.iter().position(|&w| w as usize == way).expect("hit way in stack");
+        if pos > 0 {
+            stack.swap(pos, pos - 1);
+        }
+    }
+
+    /// Removes and returns the LRU-most way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    #[inline]
+    fn pop_lru(&mut self, set: usize) -> u8 {
+        let len = self.len[set] as usize;
+        assert!(len > 0, "full set has full stack");
+        self.len[set] = (len - 1) as u8;
+        self.ways[set * self.assoc + len - 1]
+    }
+
+    /// Inserts `way` at `depth` positions above the LRU end (0 = LRU-most).
+    #[inline]
+    fn insert_above_lru(&mut self, set: usize, way: u8, depth: usize) {
+        let base = set * self.assoc;
+        let len = self.len[set] as usize;
+        debug_assert!(depth <= len && len < self.assoc);
+        let at = base + len - depth;
+        self.ways.copy_within(at..base + len, at + 1);
+        self.ways[at] = way;
+        self.len[set] = (len + 1) as u8;
+    }
+}
+
 impl SharedLlc for PippLlc {
     fn access(&mut self, core: CoreId, pc: Pc, line: LineAddr, kind: AccessKind) -> AccessOutcome {
         let geom = *self.array.geometry();
@@ -145,11 +215,7 @@ impl SharedLlc for PippLlc {
             }
             // Single-step probabilistic promotion.
             if self.rng.chance(PROMOTION_PROB) {
-                let stack = &mut self.stacks[set];
-                let pos = stack.iter().position(|&w| w as usize == way).expect("hit way in stack");
-                if pos > 0 {
-                    stack.swap(pos, pos - 1);
-                }
+                self.stacks.promote_one(set, way);
             }
             return AccessOutcome::Hit;
         }
@@ -158,9 +224,7 @@ impl SharedLlc for PippLlc {
         let (way, evicted) = match self.array.invalid_way(set) {
             Some(w) => (w, self.array.fill(set, w, LineMeta::new(tag, core, pc, kind.is_write()))),
             None => {
-                let victim_way =
-                    *self.stacks[set].last().expect("full set has full stack") as usize;
-                self.stacks[set].pop();
+                let victim_way = self.stacks.pop_lru(set) as usize;
                 let ev =
                     self.array.fill(set, victim_way, LineMeta::new(tag, core, pc, kind.is_write()));
                 (victim_way, ev)
@@ -170,11 +234,8 @@ impl SharedLlc for PippLlc {
             self.stats.record_eviction(ev.dirty);
         }
         // Insert at the core's depth from the LRU end.
-        let depth_target = self.insert_depth(core);
-        let stack = &mut self.stacks[set];
-        let depth = depth_target.min(stack.len());
-        let insert_at = stack.len() - depth;
-        stack.insert(insert_at, way as u8);
+        let depth = self.insert_depth(core).min(self.stacks.len_of(set));
+        self.stacks.insert_above_lru(set, way as u8, depth);
         AccessOutcome::Miss { evicted }
     }
 
@@ -232,8 +293,8 @@ mod tests {
         for n in 0..64u64 {
             read(&mut llc, 0, n * 64); // all set 0
         }
-        assert_eq!(llc.stacks[0].len(), 8);
-        let mut sorted = llc.stacks[0].clone();
+        assert_eq!(llc.stacks.len_of(0), 8);
+        let mut sorted = llc.stacks.set(0).to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 8, "stack must hold each way exactly once");
@@ -295,8 +356,12 @@ mod tests {
             read(&mut llc, (n % 2) as u8, n * 7);
         }
         assert!(llc.array.total_occupancy() <= 64 * 8);
-        for (s, stack) in llc.stacks.iter().enumerate() {
-            assert_eq!(stack.len(), llc.array.occupancy(s), "stack/array disagree in set {s}");
+        for s in 0..64 {
+            assert_eq!(
+                llc.stacks.len_of(s),
+                llc.array.occupancy(s),
+                "stack/array disagree in set {s}"
+            );
         }
     }
 

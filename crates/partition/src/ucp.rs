@@ -116,35 +116,48 @@ impl UcpLlc {
         let geom = self.geometry_copy();
         let assoc = geom.associativity();
         let base = set * assoc;
-        let mut occupancy = vec![0usize; self.alloc.len()];
-        for w in 0..assoc {
-            if let Some(m) = self.array.get(set, w) {
-                occupancy[m.core.index()] += 1;
-            }
+        let cores = self.array.core_column(set);
+        let valid = self.array.valid_mask(set);
+        let stamps = &self.last_touch[base..base + assoc];
+        // One pass over the valid mask gathers per-core occupancy; the
+        // associativity cap (<= 64, and cores <= ways) bounds the counter
+        // array so nothing is heap-allocated on the miss path.
+        let mut occupancy = [0u8; 64];
+        let mut m = valid;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            occupancy[cores[w].index()] += 1;
         }
-        let over_quota = |c: usize| occupancy[c] > self.alloc[c];
+        // First-minimum scan over valid ways matching `pred` — same tie
+        // break as `filter(..).min_by_key(..)` over ascending way order.
+        let min_where = |pred: &dyn Fn(usize) -> bool| -> Option<usize> {
+            let mut best: Option<usize> = None;
+            let mut m = valid;
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if pred(cores[w].index()) && best.is_none_or(|b| stamps[w] < stamps[b]) {
+                    best = Some(w);
+                }
+            }
+            best
+        };
         let req = requester.index();
         // If the requester is at/over its quota, recycle its own LRU line.
-        let candidate_own = (0..assoc)
-            .filter(|&w| self.array.get(set, w).is_some_and(|m| m.core.index() == req))
-            .min_by_key(|&w| self.last_touch[base + w]);
-        if occupancy[req] >= self.alloc[req] {
+        let candidate_own = min_where(&|c| c == req);
+        if usize::from(occupancy[req]) >= self.alloc[req] {
             if let Some(w) = candidate_own {
                 return w;
             }
         }
         // Requester deserves growth: take the LRU line among over-quota
         // cores' lines.
-        let candidate_over = (0..assoc)
-            .filter(|&w| self.array.get(set, w).is_some_and(|m| over_quota(m.core.index())))
-            .min_by_key(|&w| self.last_touch[base + w]);
-        if let Some(w) = candidate_over {
+        if let Some(w) = min_where(&|c| usize::from(occupancy[c]) > self.alloc[c]) {
             return w;
         }
         // Transient: fall back to own LRU, then global LRU.
-        candidate_own.unwrap_or_else(|| {
-            (0..assoc).min_by_key(|&w| self.last_touch[base + w]).expect("assoc > 0")
-        })
+        candidate_own.unwrap_or_else(|| (0..assoc).min_by_key(|&w| stamps[w]).expect("assoc > 0"))
     }
 
     fn epoch_tick(&mut self) {

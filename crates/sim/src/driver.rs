@@ -13,16 +13,14 @@
 //! metrics but keeps running so the remaining cores still see contention.
 
 use crate::config::SimConfig;
-use crate::scheme::Scheme;
+use crate::scheme::{with_built, Scheme};
 use crate::telemetry::DEFAULT_SNAPSHOT_INTERVAL;
 use nucache_cache::hierarchy::{PrivateHierarchy, PrivateOutcome};
 use nucache_cache::SharedLlc;
 use nucache_common::telemetry::{Event, EventSink, NullSink, Stage};
-use nucache_common::{AccessKind, CacheStats, CoreId};
+use nucache_common::{Access, AccessKind, Addr, CacheStats, CoreId, Pc};
 use nucache_cpu::{CoreClock, ServiceLevel};
-use nucache_trace::{Mix, SpecWorkload, TraceGen};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use nucache_trace::{Mix, SpecWorkload, TraceGen, BLOCK_BITS, TRACE_BLOCK};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide count of core accesses issued by simulation stages, for
@@ -74,6 +72,13 @@ impl SimResult {
 
 struct CoreState {
     gen: TraceGen,
+    /// Block buffer refilled via [`TraceGen::fill_block`]: the generator
+    /// runs up to [`TRACE_BLOCK`] accesses ahead of consumption, which is
+    /// interleave-safe because each core's stream depends only on its own
+    /// `(spec, core, seed)`.
+    buf: [Access; TRACE_BLOCK],
+    /// Next unconsumed index into `buf` (`TRACE_BLOCK` when empty).
+    buf_pos: usize,
     hierarchy: PrivateHierarchy,
     clock: CoreClock,
     accesses: u64,
@@ -81,6 +86,21 @@ struct CoreState {
     /// Per-core LLC counters snapshotted when the core hits its quota, so
     /// post-quota contention running doesn't inflate its statistics.
     llc_snapshot: Option<CacheStats>,
+}
+
+impl CoreState {
+    /// The next access of this core's stream, refilling the block buffer
+    /// from the generator when it runs dry.
+    #[inline(always)]
+    fn next_access(&mut self) -> Access {
+        if self.buf_pos == TRACE_BLOCK {
+            self.gen.fill_block(&mut self.buf);
+            self.buf_pos = 0;
+        }
+        let access = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        access
+    }
 }
 
 /// Simulates `mix` on `config` under `scheme`.
@@ -91,8 +111,13 @@ struct CoreState {
 ///
 /// Panics if the mix's core count differs from the config's.
 pub fn run_mix(config: &SimConfig, mix: &Mix, scheme: &Scheme) -> SimResult {
-    let mut llc = scheme.build(config.llc, config.num_cores, config.seed);
-    run_mix_on(config, mix, llc.as_mut())
+    // Build the LLC with its concrete type and run the loop inside the
+    // variant match: every `llc.access` in the hot path statically
+    // dispatches to this scheme's implementation. Results are
+    // bit-identical to the `dyn` path (`tests/driver_equivalence.rs`).
+    let mut llc = scheme.build_concrete(config.llc, config.num_cores, config.seed);
+    let mut sink = NullSink;
+    with_built!(&mut llc, l => run_mix_impl(config, mix, l, DEFAULT_SNAPSHOT_INTERVAL, &mut sink))
 }
 
 /// Simulates `mix` under `scheme` while streaming epoch-level telemetry
@@ -172,6 +197,20 @@ pub fn run_mix_on_sink(
     snapshot_interval: u64,
     sink: &mut dyn EventSink,
 ) -> SimResult {
+    run_mix_impl(config, mix, llc, snapshot_interval, sink)
+}
+
+/// The simulation loop, generic over the LLC's type: `dyn SharedLlc`
+/// entry points instantiate it once with dynamic dispatch, while
+/// [`run_mix`] instantiates it per concrete organization so the per-access
+/// LLC calls are static and inlinable.
+fn run_mix_impl<L: SharedLlc + ?Sized>(
+    config: &SimConfig,
+    mix: &Mix,
+    llc: &mut L,
+    snapshot_interval: u64,
+    sink: &mut dyn EventSink,
+) -> SimResult {
     assert_eq!(mix.num_cores(), config.num_cores, "mix/config core-count mismatch");
     config.validate();
     let telemetry = sink.is_enabled();
@@ -193,6 +232,8 @@ pub fn run_mix_on_sink(
             let core = CoreId::new(i as u8);
             CoreState {
                 gen: TraceGen::new(&w.spec(), core, config.seed),
+                buf: [Access::new(core, Pc::new(0), Addr::new(0), AccessKind::Read); TRACE_BLOCK],
+                buf_pos: TRACE_BLOCK,
                 hierarchy: PrivateHierarchy::new(core, config.l1, config.l2),
                 clock: CoreClock::new(),
                 accesses: 0,
@@ -202,13 +243,15 @@ pub fn run_mix_on_sink(
         })
         .collect();
 
-    // Warm-up stage.
-    let mut warm_ctx = if telemetry {
-        Some(TeleCtx::new(&mut *sink, Stage::Warmup, snapshot_interval))
+    // Warm-up stage. The telemetry branch is decided once out here, so
+    // the no-telemetry instantiation runs with the zero-sized [`NoTele`]
+    // hook (no per-access check at all).
+    if telemetry {
+        let mut ctx = TeleCtx::new(&mut *sink, Stage::Warmup, snapshot_interval);
+        run_until(config, &mut cores, llc, config.warmup_accesses, false, &mut ctx);
     } else {
-        None
-    };
-    run_until(config, &mut cores, llc, config.warmup_accesses, false, warm_ctx.as_mut());
+        run_until(config, &mut cores, llc, config.warmup_accesses, false, &mut NoTele);
+    }
     let warmup_issued: u64 = cores.iter().map(|c| c.accesses).sum();
     llc.reset_stats();
     for c in &mut cores {
@@ -218,12 +261,12 @@ pub fn run_mix_on_sink(
     }
 
     // Measurement stage.
-    let mut meas_ctx = if telemetry {
-        Some(TeleCtx::new(&mut *sink, Stage::Measure, snapshot_interval))
+    if telemetry {
+        let mut ctx = TeleCtx::new(&mut *sink, Stage::Measure, snapshot_interval);
+        run_until(config, &mut cores, llc, config.measure_accesses, true, &mut ctx);
     } else {
-        None
-    };
-    run_until(config, &mut cores, llc, config.measure_accesses, true, meas_ctx.as_mut());
+        run_until(config, &mut cores, llc, config.measure_accesses, true, &mut NoTele);
+    }
     let measured_issued: u64 = cores.iter().map(|c| c.accesses).sum();
     SIMULATED_ACCESSES.fetch_add(warmup_issued + measured_issued, Ordering::Relaxed);
 
@@ -299,7 +342,7 @@ impl<'a> TeleCtx<'a> {
 
     /// Emits buffered scheme events followed by one cumulative counter
     /// snapshot for the current stage.
-    fn snapshot(&mut self, llc: &mut dyn SharedLlc) {
+    fn snapshot<L: SharedLlc + ?Sized>(&mut self, llc: &mut L) {
         for e in llc.drain_events() {
             self.emit(&e);
         }
@@ -315,7 +358,7 @@ impl<'a> TeleCtx<'a> {
 
     /// Called once per issued core access; snapshots on interval
     /// boundaries.
-    fn on_access(&mut self, llc: &mut dyn SharedLlc) {
+    fn on_access<L: SharedLlc + ?Sized>(&mut self, llc: &mut L) {
         self.issued += 1;
         if self.issued.is_multiple_of(self.interval) {
             self.snapshot(llc);
@@ -325,7 +368,7 @@ impl<'a> TeleCtx<'a> {
     /// Stage teardown: a final partial-epoch snapshot (when accesses were
     /// issued since the last boundary), plus a drain so late scheme
     /// events are never lost.
-    fn finish(&mut self, llc: &mut dyn SharedLlc) {
+    fn finish<L: SharedLlc + ?Sized>(&mut self, llc: &mut L) {
         if !self.issued.is_multiple_of(self.interval) {
             self.snapshot(llc);
         } else {
@@ -336,81 +379,149 @@ impl<'a> TeleCtx<'a> {
     }
 }
 
+/// Compile-time telemetry dispatch for the hot loop. [`run_until`] is
+/// generic over this hook: the telemetry instantiation threads a
+/// [`TeleCtx`] through, while the common no-telemetry instantiation uses
+/// [`NoTele`], whose empty callbacks vanish under monomorphization —
+/// no per-access `Option` check survives in the emitted loop.
+trait TeleHook {
+    /// Called once per issued core access.
+    fn on_access<L: SharedLlc + ?Sized>(&mut self, llc: &mut L);
+    /// Called once when the stage completes.
+    fn finish<L: SharedLlc + ?Sized>(&mut self, llc: &mut L);
+}
+
+/// The telemetry-off hook: both callbacks compile to nothing.
+struct NoTele;
+
+impl TeleHook for NoTele {
+    #[inline(always)]
+    fn on_access<L: SharedLlc + ?Sized>(&mut self, _llc: &mut L) {}
+    #[inline(always)]
+    fn finish<L: SharedLlc + ?Sized>(&mut self, _llc: &mut L) {}
+}
+
+impl TeleHook for TeleCtx<'_> {
+    #[inline]
+    fn on_access<L: SharedLlc + ?Sized>(&mut self, llc: &mut L) {
+        TeleCtx::on_access(self, llc);
+    }
+    #[inline]
+    fn finish<L: SharedLlc + ?Sized>(&mut self, llc: &mut L) {
+        TeleCtx::finish(self, llc);
+    }
+}
+
+/// Issues one access for `core`: drains the trace buffer, walks the
+/// private hierarchy, touches the shared LLC on an L2 miss, and charges
+/// the core clock. The single place the per-access work is defined —
+/// both scheduler paths of [`run_until`] call it.
+#[inline(always)]
+fn step_core<L: SharedLlc + ?Sized, T: TeleHook>(
+    config: &SimConfig,
+    core: &mut CoreState,
+    llc: &mut L,
+    tele: &mut T,
+) {
+    let access = core.next_access();
+    let line = access.addr.line(BLOCK_BITS);
+    let level = match core.hierarchy.access(access.pc, line, access.kind) {
+        PrivateOutcome::L1Hit => ServiceLevel::L1Hit,
+        PrivateOutcome::L2Hit => ServiceLevel::L2Hit,
+        PrivateOutcome::LlcAccess { writeback } => {
+            if let Some(wb) = writeback {
+                // Write-backs update the LLC copy but are not demand
+                // accesses; charge no latency (write buffers hide it).
+                llc.access(access.core, access.pc, wb, AccessKind::Write);
+            }
+            let out = llc.access(access.core, access.pc, line, access.kind);
+            if out.is_hit() {
+                ServiceLevel::LlcHit
+            } else {
+                ServiceLevel::Memory
+            }
+        }
+    };
+    // Overlapped misses (MLP) see a fraction of the raw latency;
+    // private hits are latency-bound regardless. MLP degrees from the
+    // trace model are powers of two, so the division is a shift on that
+    // path — the quotient is identical either way.
+    let raw = config.timing.latency(level);
+    let effective = match level {
+        ServiceLevel::L1Hit | ServiceLevel::L2Hit => raw,
+        ServiceLevel::LlcHit | ServiceLevel::Memory => {
+            let mlp = access.mlp as u32;
+            let scaled =
+                if mlp.is_power_of_two() { raw >> mlp.trailing_zeros() } else { raw / mlp };
+            scaled.max(1)
+        }
+    };
+    core.clock.charge(access.gap, effective);
+    core.accesses += 1;
+    tele.on_access(llc);
+}
+
 /// Advances all cores until each has issued `target` accesses in this
 /// stage. With `freeze`, each core's clock freezes as it crosses the
 /// target (measurement); without, the stage just runs (warm-up).
-fn run_until(
+///
+/// Scheduling: the least-advanced core (smallest `(cycles, index)`)
+/// issues next. A flat min-scan over the core clocks replaces the old
+/// `BinaryHeap` — at simulated core counts (≤16) the scan is
+/// branch-predictable, allocation-free, and picks the same lexicographic
+/// minimum the heap's `Reverse<(u64, usize)>` ordering did, so the
+/// interleave (and therefore every result) is unchanged. Solo runs skip
+/// the scheduler entirely.
+fn run_until<L: SharedLlc + ?Sized, T: TeleHook>(
     config: &SimConfig,
     cores: &mut [CoreState],
-    llc: &mut dyn SharedLlc,
+    llc: &mut L,
     target: u64,
     freeze: bool,
-    mut tele: Option<&mut TeleCtx<'_>>,
+    tele: &mut T,
 ) {
     if target == 0 {
         return;
     }
-    // Min-heap on (cycles, core index): the least-advanced core issues
-    // next. Stale heap entries are skipped by re-checking the core state.
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    let mut remaining = cores.len();
-    for (i, c) in cores.iter().enumerate() {
-        heap.push(Reverse((c.clock.cycles(), i)));
-        if c.accesses >= target {
-            remaining -= 1;
-        }
-    }
-    while remaining > 0 {
-        let Reverse((cycles, i)) = heap.pop().expect("cores outstanding");
-        let core = &mut cores[i];
-        if core.clock.cycles() != cycles {
-            continue; // stale entry
-        }
-        let access = core.gen.next().expect("trace generators are infinite");
-        let level = match core.hierarchy.access(access.pc, access.addr.line(6), access.kind) {
-            PrivateOutcome::L1Hit => ServiceLevel::L1Hit,
-            PrivateOutcome::L2Hit => ServiceLevel::L2Hit,
-            PrivateOutcome::LlcAccess { writeback } => {
-                if let Some(wb) = writeback {
-                    // Write-backs update the LLC copy but are not demand
-                    // accesses; charge no latency (write buffers hide it).
-                    llc.access(access.core, access.pc, wb, AccessKind::Write);
-                }
-                let out = llc.access(access.core, access.pc, access.addr.line(6), access.kind);
-                if out.is_hit() {
-                    ServiceLevel::LlcHit
-                } else {
-                    ServiceLevel::Memory
-                }
+    if let [core] = cores {
+        // Single-core fast path (solo normalization baselines, a large
+        // share of `run_all` jobs): no scheduling decision at all.
+        if core.accesses < target {
+            while core.accesses < target {
+                step_core(config, core, llc, tele);
             }
-        };
-        // Overlapped misses (MLP) see a fraction of the raw latency;
-        // private hits are latency-bound regardless.
-        let raw = config.timing.latency(level);
-        let effective = match level {
-            ServiceLevel::L1Hit | ServiceLevel::L2Hit => raw,
-            ServiceLevel::LlcHit | ServiceLevel::Memory => (raw / access.mlp as u32).max(1),
-        };
-        core.clock.charge(access.gap, effective);
-        core.accesses += 1;
-        if let Some(t) = tele.as_deref_mut() {
-            t.on_access(llc);
+            if freeze {
+                core.clock.freeze();
+                core.llc_snapshot = Some(llc.core_stats()[0]);
+            }
         }
+        tele.finish(llc);
+        return;
+    }
+    let mut remaining = cores.len() - cores.iter().filter(|c| c.accesses >= target).count();
+    while remaining > 0 {
+        let mut i = 0;
+        let mut best = cores[0].clock.cycles();
+        for (j, c) in cores.iter().enumerate().skip(1) {
+            let cycles = c.clock.cycles();
+            if cycles < best {
+                best = cycles;
+                i = j;
+            }
+        }
+        let core = &mut cores[i];
+        step_core(config, core, llc, tele);
         if core.accesses == target {
             if freeze {
                 core.clock.freeze();
                 core.llc_snapshot = Some(llc.core_stats()[i]);
             }
             remaining -= 1;
-            // Finished cores keep running only while others need
-            // contention; they are simply not re-queued once everyone is
-            // done (the loop exits).
+            // Finished cores keep running while others still need
+            // contention; the loop exits once everyone is done.
         }
-        heap.push(Reverse((core.clock.cycles(), i)));
     }
-    if let Some(t) = tele {
-        t.finish(llc);
-    }
+    tele.finish(llc);
 }
 
 /// Simulates `mix` under NUcache and returns the LLC instance alongside

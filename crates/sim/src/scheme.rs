@@ -1,6 +1,6 @@
 //! Scheme selection: which shared-LLC organization to simulate.
 
-use nucache_cache::policy::ShipPc;
+use nucache_cache::policy::{Dip, Drrip, Lru, ShipPc, TadipF};
 use nucache_cache::{CacheGeometry, ClassicLlc, SharedLlc};
 use nucache_core::{NuCache, NuCacheConfig};
 use nucache_partition::{baselines, PippLlc, UcpLlc};
@@ -62,16 +62,25 @@ impl Scheme {
         }
     }
 
-    /// Instantiates the shared LLC for this scheme.
+    /// Instantiates the shared LLC for this scheme as a trait object —
+    /// the entry point for callers that need dynamic dispatch (telemetry,
+    /// audits, tools holding heterogeneous LLC collections).
     pub fn build(&self, geom: CacheGeometry, num_cores: usize, seed: u64) -> Box<dyn SharedLlc> {
+        self.build_concrete(geom, num_cores, seed).boxed()
+    }
+
+    /// Instantiates the shared LLC for this scheme with its concrete type
+    /// preserved, so the driver's hot loop can be monomorphized per
+    /// organization instead of paying a virtual call per access.
+    pub fn build_concrete(&self, geom: CacheGeometry, num_cores: usize, seed: u64) -> BuiltLlc {
         match self {
-            Scheme::Lru => Box::new(baselines::lru(geom, num_cores)),
-            Scheme::Dip => Box::new(baselines::dip(geom, num_cores, seed)),
-            Scheme::Drrip => Box::new(baselines::drrip(geom, num_cores, seed)),
-            Scheme::Tadip => Box::new(baselines::tadip(geom, num_cores, seed)),
-            Scheme::Ucp => Box::new(UcpLlc::new(geom, num_cores, PARTITION_EPOCH)),
-            Scheme::Pipp => Box::new(PippLlc::new(geom, num_cores, PARTITION_EPOCH, seed)),
-            Scheme::Ship => Box::new(ClassicLlc::new(geom, ShipPc::new(&geom), num_cores)),
+            Scheme::Lru => BuiltLlc::Lru(baselines::lru(geom, num_cores)),
+            Scheme::Dip => BuiltLlc::Dip(baselines::dip(geom, num_cores, seed)),
+            Scheme::Drrip => BuiltLlc::Drrip(baselines::drrip(geom, num_cores, seed)),
+            Scheme::Tadip => BuiltLlc::Tadip(baselines::tadip(geom, num_cores, seed)),
+            Scheme::Ucp => BuiltLlc::Ucp(UcpLlc::new(geom, num_cores, PARTITION_EPOCH)),
+            Scheme::Pipp => BuiltLlc::Pipp(PippLlc::new(geom, num_cores, PARTITION_EPOCH, seed)),
+            Scheme::Ship => BuiltLlc::Ship(ClassicLlc::new(geom, ShipPc::new(&geom), num_cores)),
             Scheme::NuCache(config) => {
                 let mut c = *config;
                 // Clamp the DeliWays to leave at least one MainWay on
@@ -80,9 +89,59 @@ impl Scheme {
                     c.deli_ways = geom.associativity() / 2;
                 }
                 c.seed ^= seed;
-                Box::new(NuCache::new(geom, num_cores, c))
+                BuiltLlc::NuCache(NuCache::new(geom, num_cores, c))
             }
         }
+    }
+}
+
+/// A concretely-typed LLC built by [`Scheme::build_concrete`].
+///
+/// Each variant keeps the organization's real type, so matching once and
+/// running the simulation loop inside the arm monomorphizes every LLC
+/// call in the loop (static dispatch, inlining-friendly). The behaviour
+/// is bit-identical to driving the same scheme through `dyn SharedLlc` —
+/// asserted by `tests/driver_equivalence.rs`.
+#[allow(missing_docs)]
+// variant names mirror `Scheme`'s documented arms
+// One value exists per run and it never moves after construction, so the
+// size spread between variants costs nothing; boxing the large ones would
+// put a pointer chase back into the monomorphized hot loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum BuiltLlc {
+    Lru(ClassicLlc<Lru>),
+    Dip(ClassicLlc<Dip>),
+    Drrip(ClassicLlc<Drrip>),
+    Tadip(ClassicLlc<TadipF>),
+    Ucp(UcpLlc),
+    Pipp(PippLlc),
+    Ship(ClassicLlc<ShipPc>),
+    NuCache(NuCache),
+}
+
+/// Runs `$body` with `$l` bound to the concrete LLC inside a
+/// [`BuiltLlc`], monomorphizing the body per variant.
+macro_rules! with_built {
+    ($llc:expr, $l:ident => $body:expr) => {
+        match $llc {
+            $crate::scheme::BuiltLlc::Lru($l) => $body,
+            $crate::scheme::BuiltLlc::Dip($l) => $body,
+            $crate::scheme::BuiltLlc::Drrip($l) => $body,
+            $crate::scheme::BuiltLlc::Tadip($l) => $body,
+            $crate::scheme::BuiltLlc::Ucp($l) => $body,
+            $crate::scheme::BuiltLlc::Pipp($l) => $body,
+            $crate::scheme::BuiltLlc::Ship($l) => $body,
+            $crate::scheme::BuiltLlc::NuCache($l) => $body,
+        }
+    };
+}
+pub(crate) use with_built;
+
+impl BuiltLlc {
+    /// Erases the concrete type into a `Box<dyn SharedLlc>`.
+    pub fn boxed(self) -> Box<dyn SharedLlc> {
+        with_built!(self, l => Box::new(l))
     }
 }
 

@@ -38,6 +38,17 @@ fn baseline_sim_config_uses_named_constants() {
     }
 }
 
+/// The driver splits addresses at the trace crate's block granularity;
+/// the cache geometries are built with their own block-bytes constant.
+/// These are one physical quantity — if either constant is retuned
+/// without the other, every line address the driver derives would be
+/// sheared against the sets the caches index.
+#[test]
+fn trace_block_bits_match_cache_block_bytes() {
+    assert_eq!(1u64 << nucache_trace::BLOCK_BITS, u64::from(DEFAULT_BLOCK_BYTES));
+    assert_eq!(nucache_trace::BLOCK_BYTES, u64::from(DEFAULT_BLOCK_BYTES));
+}
+
 #[test]
 fn default_nucache_config_uses_named_constants() {
     let nu = NuCacheConfig::default();

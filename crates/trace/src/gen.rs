@@ -2,12 +2,19 @@
 //! deterministic stream of [`Access`]es.
 
 use crate::workload::{Behavior, WorkloadSpec};
-use nucache_common::{Access, AccessKind, Addr, CoreId, DetRng, Pc};
+use nucache_common::{Access, AccessKind, Addr, CoreId, DetRng, FastRange, Pc};
 
 /// Cache-line size assumed by the generators (64 bytes).
 pub const BLOCK_BYTES: u64 = 64;
-/// log2 of [`BLOCK_BYTES`].
-pub(crate) const BLOCK_BITS: u32 = 6;
+/// log2 of [`BLOCK_BYTES`]: the byte-to-line shift every consumer of
+/// generated addresses must use (the driver routes its `Addr::line`
+/// calls through this constant rather than a magic number).
+pub const BLOCK_BITS: u32 = 6;
+
+/// Natural batch size for [`TraceGen::fill_block`]: large enough to
+/// amortize per-phase lookups, small enough that a per-core buffer stays
+/// a few cache lines.
+pub const TRACE_BLOCK: usize = 64;
 
 /// Line-address spacing between site regions: 2^26 lines = 4 GiB of
 /// address space per region, far larger than any region we generate.
@@ -25,6 +32,9 @@ struct SiteState {
     base_line: u64,
     /// LCG parameters for pointer chasing (full-period over pow2 region).
     chase_modulus: u64,
+    /// Precomputed `[0, lines)` draw for `RandomUniform` probing — the
+    /// per-draw division is paid once here, at construction.
+    uniform: FastRange,
 }
 
 /// A deterministic, infinite iterator of accesses for one workload bound
@@ -60,6 +70,10 @@ pub struct TraceGen {
     /// (phase index, site index within phase) -> global site index.
     phase_site_base: Vec<usize>,
     cum_weights: Vec<Vec<u32>>,
+    /// Per-phase `[0, total_weight)` draw for site selection.
+    phase_pick: Vec<FastRange>,
+    /// Workload-wide `[gap.0, gap.1]` draw for instruction gaps.
+    gap_pick: FastRange,
     phase: usize,
     phase_left: u64,
     emitted: u64,
@@ -71,6 +85,7 @@ impl TraceGen {
         let mut sites = Vec::new();
         let mut phase_site_base = Vec::new();
         let mut cum_weights = Vec::new();
+        let mut phase_pick = Vec::new();
         let mut rng = DetRng::substream(seed, trace_stream_label(core));
         for phase in &spec.phases {
             phase_site_base.push(sites.len());
@@ -86,11 +101,14 @@ impl TraceGen {
                 // Randomize starting positions so co-scheduled copies of
                 // the same workload do not march in lockstep.
                 let cursor = rng.below(s.behavior.lines());
-                sites.push(SiteState { cursor, base_line, chase_modulus });
+                let uniform = FastRange::below(s.behavior.lines());
+                sites.push(SiteState { cursor, base_line, chase_modulus, uniform });
             }
+            phase_pick.push(FastRange::below(acc as u64));
             cum_weights.push(cum);
         }
         let phase_left = spec.phases[0].accesses;
+        let gap_pick = FastRange::inclusive(spec.gap.0 as u64, spec.gap.1 as u64);
         TraceGen {
             spec: spec.clone(),
             core,
@@ -98,6 +116,8 @@ impl TraceGen {
             sites,
             phase_site_base,
             cum_weights,
+            phase_pick,
+            gap_pick,
             phase: 0,
             phase_left,
             emitted: 0,
@@ -125,37 +145,50 @@ impl TraceGen {
     }
 
     fn pick_site(&mut self) -> usize {
-        let cum = &self.cum_weights[self.phase];
-        let total = *cum.last().expect("non-empty phase");
-        let draw = self.rng.below(total as u64) as u32;
-        let local = cum.partition_point(|&c| c <= draw);
+        let local =
+            pick_in(&self.cum_weights[self.phase], &self.phase_pick[self.phase], &mut self.rng);
         self.phase_site_base[self.phase] + local
     }
 
     fn advance_site(&mut self, global_idx: usize, behavior: Behavior) -> u64 {
-        let state = &mut self.sites[global_idx];
-        match behavior {
-            Behavior::Stream { lines, stride } => {
-                let line = state.base_line + state.cursor;
-                state.cursor = (state.cursor + stride) % lines;
-                line
+        step_site(&mut self.sites[global_idx], &mut self.rng, behavior)
+    }
+
+    /// Fills `out` with the next `out.len()` accesses of the stream —
+    /// byte-identical to calling [`Iterator::next`] that many times, but
+    /// batched: phase bookkeeping, site-table base, and gap bounds are
+    /// hoisted out of the per-access path and re-resolved only at phase
+    /// boundaries, so the inner loop is draws and site stepping only.
+    pub fn fill_block(&mut self, out: &mut [Access]) {
+        let mut idx = 0;
+        while idx < out.len() {
+            self.advance_phase();
+            let phase = self.phase;
+            let run = (out.len() - idx).min(self.phase_left as usize);
+            let base = self.phase_site_base[phase];
+            // Split borrows: the RNG and site states advance while the
+            // spec, cumulative weights, and precomputed ranges are
+            // read-only.
+            let TraceGen { spec, core, rng, sites, cum_weights, phase_pick, gap_pick, .. } = self;
+            let cum = &cum_weights[phase];
+            let pick = phase_pick[phase];
+            let gap_pick = *gap_pick;
+            let site_specs = &spec.phases[phase].sites;
+            let core = *core;
+            for slot in &mut out[idx..idx + run] {
+                let local = pick_in(cum, &pick, rng);
+                let site = site_specs[local];
+                let line = step_site(&mut sites[base + local], rng, site.behavior);
+                let kind =
+                    if rng.chance(site.write_frac) { AccessKind::Write } else { AccessKind::Read };
+                let gap = rng.draw(&gap_pick) as u32;
+                let pc = Self::site_pc(base + local).globalize(core);
+                *slot = Access::with_gap(core, pc, Addr::new(line << BLOCK_BITS), kind, gap)
+                    .with_mlp(Self::mlp_of(site.behavior));
             }
-            Behavior::Loop { lines } => {
-                let line = state.base_line + state.cursor;
-                state.cursor = (state.cursor + 1) % lines;
-                line
-            }
-            Behavior::RandomUniform { lines } => state.base_line + self.rng.below(lines),
-            Behavior::PointerChase { lines: _ } => {
-                // Full-period LCG over the power-of-two modulus: next =
-                // (5*cur + 1) mod m visits every value exactly once per
-                // period (a ≡ 1 mod 4, c odd), giving loop-like reuse with
-                // no spatial pattern.
-                let m = state.chase_modulus;
-                let line = state.base_line + state.cursor;
-                state.cursor = (5 * state.cursor + 1) & (m - 1);
-                line
-            }
+            self.phase_left -= run as u64;
+            self.emitted += run as u64;
+            idx += run;
         }
     }
 
@@ -186,6 +219,57 @@ const fn trace_stream_label(core: CoreId) -> u64 {
     0x7ace_0000 + core.0 as u64
 }
 
+/// Weighted site selection within one phase: one uniform draw against the
+/// cumulative weight table. Shared by the per-access and batched paths so
+/// both consume the RNG identically; `pick` is the phase's precomputed
+/// `[0, total_weight)` range, so no division is paid per draw.
+#[inline]
+fn pick_in(cum: &[u32], pick: &FastRange, rng: &mut DetRng) -> usize {
+    let draw = rng.draw(pick) as u32;
+    cum.partition_point(|&c| c <= draw)
+}
+
+/// Advances one site and returns the line it touched. Shared by the
+/// per-access and batched paths so both consume the RNG identically.
+#[inline]
+fn step_site(state: &mut SiteState, rng: &mut DetRng, behavior: Behavior) -> u64 {
+    match behavior {
+        Behavior::Stream { lines, stride } => {
+            let line = state.base_line + state.cursor;
+            // `cursor < lines` is invariant, so for in-range strides the
+            // modulo is a single conditional subtract.
+            let next = state.cursor + stride;
+            state.cursor = if stride <= lines {
+                if next >= lines {
+                    next - lines
+                } else {
+                    next
+                }
+            } else {
+                next % lines
+            };
+            line
+        }
+        Behavior::Loop { lines } => {
+            let line = state.base_line + state.cursor;
+            let next = state.cursor + 1;
+            state.cursor = if next == lines { 0 } else { next };
+            line
+        }
+        Behavior::RandomUniform { lines: _ } => state.base_line + rng.draw(&state.uniform),
+        Behavior::PointerChase { lines: _ } => {
+            // Full-period LCG over the power-of-two modulus: next =
+            // (5*cur + 1) mod m visits every value exactly once per
+            // period (a ≡ 1 mod 4, c odd), giving loop-like reuse with
+            // no spatial pattern.
+            let m = state.chase_modulus;
+            let line = state.base_line + state.cursor;
+            state.cursor = (5 * state.cursor + 1) & (m - 1);
+            line
+        }
+    }
+}
+
 impl Iterator for TraceGen {
     type Item = Access;
 
@@ -198,7 +282,7 @@ impl Iterator for TraceGen {
         let line = self.advance_site(global_idx, site.behavior);
         let kind =
             if self.rng.chance(site.write_frac) { AccessKind::Write } else { AccessKind::Read };
-        let gap = self.rng.range_inclusive(self.spec.gap.0 as u64, self.spec.gap.1 as u64) as u32;
+        let gap = self.rng.draw(&self.gap_pick) as u32;
         let pc = Self::site_pc(global_idx).globalize(self.core);
         self.phase_left -= 1;
         self.emitted += 1;

@@ -37,7 +37,7 @@ pub mod spec;
 pub mod stats;
 pub mod workload;
 
-pub use gen::TraceGen;
+pub use gen::{TraceGen, BLOCK_BITS, BLOCK_BYTES, TRACE_BLOCK};
 pub use mix::{Mix, MixBuilder};
 pub use spec::SpecWorkload;
 pub use stats::TraceSummary;

@@ -86,6 +86,39 @@ proptest! {
         }
     }
 
+    /// The block-batched generator is an amortization, not a new
+    /// generator: `fill_block` must emit byte-identical streams to the
+    /// per-access `Iterator` facade — across the whole roster, arbitrary
+    /// seeds, and block sizes that do and don't divide phase lengths.
+    #[test]
+    fn fill_block_matches_iterator(
+        seed in any::<u64>(),
+        workload_idx in 0usize..SpecWorkload::ALL.len(),
+        block in 1usize..129,
+        blocks in 1usize..8,
+    ) {
+        let spec = SpecWorkload::ALL[workload_idx].spec();
+        let total = block * blocks;
+        let expected: Vec<_> =
+            TraceGen::new(&spec, CoreId::new(2), seed).take(total).collect();
+        let mut gen = TraceGen::new(&spec, CoreId::new(2), seed);
+        let mut buf = vec![
+            nucache_common::Access::new(
+                CoreId::new(0),
+                nucache_common::Pc::new(0),
+                nucache_common::Addr::new(0),
+                nucache_common::AccessKind::Read,
+            );
+            block
+        ];
+        let mut got = Vec::with_capacity(total);
+        for _ in 0..blocks {
+            gen.fill_block(&mut buf);
+            got.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(expected, got, "fill_block diverged from next()");
+    }
+
     /// Distinct seeds virtually never produce identical 100-access
     /// prefixes for a stochastic workload.
     #[test]

@@ -23,6 +23,7 @@ pub mod rngs {
     }
 
     impl StdRng {
+        #[inline]
         pub(crate) fn next(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
@@ -39,6 +40,7 @@ pub mod rngs {
 
 use rngs::StdRng;
 
+#[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
@@ -71,6 +73,7 @@ pub trait Uniform: Sized {
 macro_rules! impl_uniform_int {
     ($($t:ty),*) => {$(
         impl Uniform for $t {
+            #[inline]
             fn sample(rng: &mut StdRng) -> Self {
                 rng.next() as $t
             }
@@ -80,12 +83,14 @@ macro_rules! impl_uniform_int {
 impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Uniform for bool {
+    #[inline]
     fn sample(rng: &mut StdRng) -> Self {
         rng.next() & 1 == 1
     }
 }
 
 impl Uniform for f64 {
+    #[inline]
     fn sample(rng: &mut StdRng) -> Self {
         // 53 uniform mantissa bits in [0, 1).
         (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -93,6 +98,7 @@ impl Uniform for f64 {
 }
 
 impl Uniform for f32 {
+    #[inline]
     fn sample(rng: &mut StdRng) -> Self {
         (rng.next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
@@ -111,6 +117,7 @@ pub trait SampleRange<T> {
 macro_rules! impl_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
             fn sample_from(self, rng: &mut StdRng) -> $t {
                 assert!(self.start < self.end, "empty range");
                 let span = (self.end - self.start) as u64;
@@ -118,6 +125,7 @@ macro_rules! impl_sample_range {
             }
         }
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
             fn sample_from(self, rng: &mut StdRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range");
@@ -150,14 +158,17 @@ pub trait RngExt {
 }
 
 impl RngExt for StdRng {
+    #[inline]
     fn random<T: Uniform>(&mut self) -> T {
         T::sample(self)
     }
 
+    #[inline]
     fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
         range.sample_from(self)
     }
 
+    #[inline]
     fn random_bool(&mut self, p: f64) -> bool {
         if p >= 1.0 {
             // Consume a draw for stream parity with the open interval case.
