@@ -38,6 +38,7 @@ pub mod diag;
 pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod manifest;
 pub mod resolve;
 pub mod semantic;
 pub mod symbols;

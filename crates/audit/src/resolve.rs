@@ -20,6 +20,7 @@
 //! worth auditing) resolve essentially uniquely.
 
 use crate::lexer::{scan, ScannedFile};
+use crate::manifest::Manifests;
 use crate::symbols::{scan_symbols, tokenize, FileSymbols, SymbolIndex, TokKind, Token};
 use crate::walk::{classify, collect_rs_files, FileClass};
 use std::collections::BTreeMap;
@@ -150,6 +151,8 @@ pub struct Workspace {
     pub occurrences: OccurrenceIndex,
     /// `(rel-path, text)` of the audited markdown documents.
     pub docs: Vec<(String, String)>,
+    /// Feature facts from the workspace `Cargo.toml`s.
+    pub manifests: Manifests,
 }
 
 /// Markdown documents whose tables bind numeric claims to code constants.
@@ -184,7 +187,8 @@ impl Workspace {
                 docs.push((name.to_string(), text));
             }
         }
-        Ok(Workspace { files, index, occurrences, docs })
+        let manifests = Manifests::load(root);
+        Ok(Workspace { files, index, occurrences, docs, manifests })
     }
 
     /// Whether `occ` sits at the declaration of any indexed symbol (same

@@ -1,13 +1,30 @@
 //! The `cfg-gate-consistency` lint.
 //!
-//! The `debug_invariants` feature gates the differential oracle: when it
-//! is off, the oracle types and hooks must compile out entirely. An
-//! ungated reference to a gated item breaks exactly one build
-//! configuration — the one CI isn't currently running — which is how
-//! feature rot ships. The rule:
+//! Feature-gated items compile out when the feature is off, and an
+//! ungated reference to one breaks exactly one build configuration —
+//! the one CI isn't currently running — which is how feature rot ships.
+//! The rule:
 //!
 //! > every reference to a feature-gated item must itself sit under (at
-//! > least) the same feature gates.
+//! > least) the same feature gates, unless Cargo guarantees the gate is
+//! > on in every build of the referencing crate.
+//!
+//! Two sources of gates are recognized at a reference site: `#[cfg]`
+//! regions inside the file itself, and gates *inherited* from the `mod`
+//! declarations that pull the file into its crate (a file whose `mod`
+//! line is gated is gated in its entirety — `gates_at` alone cannot see
+//! that).
+//!
+//! The Cargo escape hatch covers the `std` pattern: a feature that is in
+//! the **default set** of the declaring crate is on for every dependent
+//! that doesn't say `default-features = false`, so a cross-crate
+//! reference from such a dependent cannot break any configuration that
+//! exists. Feature facts come from the workspace manifests
+//! ([`crate::manifest::Manifests`]); a crate with no parsed manifest is
+//! treated conservatively (no exemption). Same-crate references are
+//! always enforced — `-p <crate> --no-default-features` is a real build
+//! of the declaring crate itself. The `debug_invariants` pattern stays
+//! fully enforced cross-crate too: it is nobody's default feature.
 //!
 //! Only `feature = "…"` gates participate. `cfg(test)` and
 //! `cfg(debug_assertions)` don't create link-time holes the same way,
@@ -38,31 +55,108 @@ fn feature_gates(gates: &[String]) -> Option<BTreeSet<String>> {
     Some(out)
 }
 
+/// The agreed declaration facts of one name: its feature-gate set and
+/// every non-vendor crate declaring it.
+struct Declared<'a> {
+    gates: BTreeSet<String>,
+    crates: BTreeSet<&'a str>,
+}
+
+/// The `mod` chain above a source file: for `…/src/a/b.rs`, the
+/// declaration site of `b` (in `a.rs` or `a/mod.rs`), then of `a`, up
+/// to the crate root. Returns the parent candidates and the module name
+/// for one step, or `None` at a crate/target root.
+fn parent_step(rel: &str) -> Option<(Vec<String>, String)> {
+    let (dir, file) = rel.rsplit_once('/')?;
+    let stem = file.strip_suffix(".rs")?;
+    if stem == "lib" || stem == "main" {
+        return None;
+    }
+    // `tests/`, `benches/`, `examples/`, `src/bin/`: every file is its
+    // own target root, nothing declares it as a module.
+    let segments: Vec<&str> = dir.split('/').collect();
+    match segments.last() {
+        Some(&"tests") | Some(&"benches") | Some(&"examples") | Some(&"bin") => return None,
+        _ => {}
+    }
+    let (base, name) = if stem == "mod" {
+        let (grand, dirname) = dir.rsplit_once('/')?;
+        (grand.to_string(), dirname.to_string())
+    } else {
+        (dir.to_string(), stem.to_string())
+    };
+    let candidates = if base.ends_with("/src") || base == "src" {
+        vec![format!("{base}/lib.rs"), format!("{base}/main.rs")]
+    } else {
+        vec![format!("{base}.rs"), format!("{base}/mod.rs")]
+    };
+    Some((candidates, name))
+}
+
+/// Feature gates a file inherits from the `mod` declarations pulling it
+/// into its crate. `None` when an ancestor `mod` sits under an opaque
+/// gate (give the whole file the benefit of the doubt).
+fn inherited_gates(
+    ws: &Workspace,
+    by_rel: &BTreeMap<&str, usize>,
+    rel: &str,
+) -> Option<BTreeSet<String>> {
+    let mut out = BTreeSet::new();
+    let mut cur = rel.to_string();
+    // Bounded walk: a pathological self-referential layout must not spin.
+    for _ in 0..32 {
+        let Some((candidates, name)) = parent_step(&cur) else { break };
+        let Some((&parent_idx, parent_rel)) =
+            candidates.iter().find_map(|c| by_rel.get_key_value(c.as_str()).map(|(k, v)| (v, *k)))
+        else {
+            break;
+        };
+        for sym in &ws.files[parent_idx].symbols.symbols {
+            if sym.kind == SymbolKind::Mod && sym.name == name {
+                out.extend(feature_gates(&sym.gates)?);
+            }
+        }
+        cur = parent_rel.to_string();
+    }
+    Some(out)
+}
+
 /// Runs the lint, appending findings to `out`.
 pub fn lint(ws: &Workspace, out: &mut Vec<Diagnostic>) {
-    // Name -> the one agreed gate set of all its non-vendor declarations,
-    // or None when declarations disagree / are opaque.
-    let mut required: BTreeMap<&str, Option<BTreeSet<String>>> = BTreeMap::new();
+    // Name -> the one agreed gate set of all its non-vendor declarations
+    // plus the declaring crates, or None when declarations disagree /
+    // are opaque.
+    let mut required: BTreeMap<&str, Option<Declared<'_>>> = BTreeMap::new();
     for (id, sym) in ws.index.symbols.iter().enumerate() {
-        if ws.index.crates[id].starts_with("vendor/") || sym.kind == SymbolKind::Field {
+        let crate_name = ws.index.crates[id].as_str();
+        if crate_name.starts_with("vendor/") || sym.kind == SymbolKind::Field {
             continue;
         }
         let gates = feature_gates(&sym.gates);
         match required.get_mut(sym.name.as_str()) {
             None => {
-                required.insert(&sym.name, gates);
+                required.insert(
+                    &sym.name,
+                    gates.map(|gates| Declared { gates, crates: BTreeSet::from([crate_name]) }),
+                );
             }
-            Some(existing) => {
-                if *existing != gates {
-                    *existing = None;
+            Some(existing) => match (existing.as_mut(), gates) {
+                (Some(decl), Some(gates)) if decl.gates == gates => {
+                    decl.crates.insert(crate_name);
                 }
-            }
+                _ => *existing = None,
+            },
         }
     }
 
-    for (name, gates) in &required {
-        let Some(gates) = gates else { continue };
-        if gates.is_empty() {
+    let by_rel: BTreeMap<&str, usize> =
+        ws.files.iter().enumerate().map(|(i, f)| (f.rel.as_str(), i)).collect();
+    // Per-file cache of inherited `mod`-declaration gates.
+    let mut inherited: BTreeMap<usize, Option<BTreeSet<String>>> = BTreeMap::new();
+
+    for (name, decl) in &required {
+        let Some(decl) = decl else { continue };
+        if decl.gates.is_empty() {
             continue;
         }
         for occ in ws.occurrences_of(name) {
@@ -70,14 +164,34 @@ pub fn lint(ws: &Workspace, out: &mut Vec<Diagnostic>) {
             if f.class.is_vendor || ws.is_declaration(name, occ) {
                 continue;
             }
-            let Some(site) = feature_gates(&f.symbols.gates_at(occ.pos)) else {
+            let Some(mut site) = feature_gates(&f.symbols.gates_at(occ.pos)) else {
                 // Reference under an opaque gate: give it the benefit of
                 // the doubt rather than flag unprovable code.
                 continue;
             };
-            let missing: Vec<&String> = gates.difference(&site).collect();
+            let from_mods =
+                inherited.entry(occ.file).or_insert_with(|| inherited_gates(ws, &by_rel, &f.rel));
+            let Some(from_mods) = from_mods else { continue };
+            site.extend(from_mods.iter().cloned());
+            let missing: Vec<&String> = decl.gates.difference(&site).collect();
             if missing.is_empty() {
                 continue;
+            }
+            let referencing = f.class.crate_name.as_str();
+            if !decl.crates.contains(referencing) {
+                // Cross-crate: Cargo, not cfg, decides whether the gate
+                // is on. Exempt when every missing feature is a default
+                // of every declaring crate and this crate keeps the
+                // defaults — then no existing configuration can break.
+                let guaranteed = missing.iter().all(|feat| {
+                    decl.crates.iter().all(|d| {
+                        ws.manifests.enabled_by_default(d, feat)
+                            && !ws.manifests.disables_defaults(referencing, d)
+                    })
+                });
+                if guaranteed {
+                    continue;
+                }
             }
             if super::suppressed(ws, LINT, occ.file, occ.line) {
                 continue;
@@ -108,5 +222,23 @@ mod tests {
         assert_eq!(set.len(), 1);
         assert!(set.contains("debug_invariants"));
         assert!(feature_gates(&["opaque:any(feature = \"a\")".to_string()]).is_none());
+    }
+
+    #[test]
+    fn parent_steps() {
+        let step = |rel: &str| parent_step(rel);
+        assert!(step("crates/x/src/lib.rs").is_none());
+        assert!(step("crates/x/src/bin/tool.rs").is_none());
+        assert!(step("crates/x/tests/t.rs").is_none());
+        assert!(step("examples/e.rs").is_none());
+        let (cands, name) = step("crates/x/src/telemetry.rs").expect("has parent");
+        assert_eq!(name, "telemetry");
+        assert_eq!(cands, vec!["crates/x/src/lib.rs", "crates/x/src/main.rs"]);
+        let (cands, name) = step("crates/x/src/policy/lru.rs").expect("has parent");
+        assert_eq!(name, "lru");
+        assert_eq!(cands, vec!["crates/x/src/policy.rs", "crates/x/src/policy/mod.rs"]);
+        let (cands, name) = step("crates/x/src/policy/mod.rs").expect("has parent");
+        assert_eq!(name, "policy");
+        assert_eq!(cands, vec!["crates/x/src/lib.rs", "crates/x/src/main.rs"]);
     }
 }

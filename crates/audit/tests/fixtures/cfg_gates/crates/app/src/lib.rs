@@ -1,0 +1,8 @@
+//! Downstream crate keeping core's default features.
+
+/// Cross-crate ungated reference, fine: `std` is a default feature of
+/// the declaring crate and this crate keeps the defaults, so Cargo
+/// enables the gate in every build of this crate.
+pub fn call() -> u64 {
+    nucache_core::hosted_helper()
+}

@@ -25,3 +25,13 @@ pub fn run() -> u64 {
     let o = Oracle { checks: 0 };
     verify(&o)
 }
+
+/// Hosted helper, on by default via the `std` feature.
+#[cfg(feature = "std")]
+pub fn hosted_helper() -> u64 {
+    1
+}
+
+/// Gated module: its file inherits the gate from this declaration.
+#[cfg(feature = "std")]
+pub mod hosted;

@@ -1,0 +1,7 @@
+//! Downstream crate that disables core's defaults: references to
+//! `std`-gated items must carry the gate here.
+
+/// Ungated reference with defaults off: finding.
+pub fn broken() -> u64 {
+    nucache_core::hosted_helper()
+}

@@ -69,12 +69,24 @@ fn doc_drift_fixture_flags_mismatch_missing_and_unfoldable() {
 fn cfg_gates_fixture_flags_only_ungated_references() {
     let diags = lint_fixture("cfg_gates", &Baseline::default());
     let findings = of_lint(&diags, "cfg-gate-consistency");
-    assert_eq!(findings.len(), 2, "{findings:?}");
-    for d in &findings {
-        assert!(d.message.contains("debug_invariants"), "{}", d.message);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    let invariant_findings: Vec<_> =
+        findings.iter().filter(|d| d.message.contains("debug_invariants")).collect();
+    assert_eq!(invariant_findings.len(), 2, "{findings:?}");
+    for d in &invariant_findings {
         // Both bad references sit inside the ungated `run`.
+        assert!(d.file.ends_with("core/src/lib.rs"), "{d:?}");
         assert!(d.line >= 25, "finding above the ungated fn: {d:?}");
     }
+    // `std` is a default feature of the declaring crate: the ungated
+    // cross-crate reference is flagged only where the referencing crate
+    // turns the defaults off. The same reference in `app` (defaults
+    // kept) and in `core/src/hosted.rs` (gate inherited from the `mod`
+    // declaration) must stay silent.
+    let std_findings: Vec<_> =
+        findings.iter().filter(|d| d.message.contains("hosted_helper")).collect();
+    assert_eq!(std_findings.len(), 1, "{findings:?}");
+    assert!(std_findings[0].file.ends_with("nostd/src/lib.rs"), "{findings:?}");
 }
 
 #[test]

@@ -64,7 +64,7 @@ fn bench_selection_pass(c: &mut Criterion) {
             let mut h = Log2Histogram::new(32);
             h.record_n(10 + i * 17, 500);
             h.record_n(1000 + i * 31, 200);
-            Candidate { pc: Pc::new(i), fills: 1_000 + i * 100, histogram: Some(h) }
+            Candidate { class: Pc::new(i), fills: 1_000 + i * 100, histogram: Some(h) }
         })
         .collect();
     let small: Vec<Candidate> = candidates.iter().take(12).cloned().collect();

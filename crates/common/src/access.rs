@@ -1,7 +1,7 @@
 //! Memory-access records: the unit of work flowing through the simulator.
 
 use crate::addr::{Addr, CoreId, Pc};
-use std::fmt;
+use core::fmt;
 
 /// Whether an access reads or writes its target line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -4,7 +4,7 @@
 //! addresses (PCs) from being confused with one another — all three are
 //! `u64` underneath, and mixing them up is the classic cache-simulator bug.
 
-use std::fmt;
+use core::fmt;
 
 /// A byte-granular physical address.
 ///

@@ -8,6 +8,9 @@
 //! below a threshold (with linear interpolation inside the boundary
 //! bucket).
 
+use alloc::vec;
+use alloc::vec::Vec;
+
 /// A histogram with power-of-two bucket boundaries over `u64` samples.
 ///
 /// # Examples
@@ -161,7 +164,11 @@ impl Log2Histogram {
         if self.total == 0 {
             return None;
         }
-        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        // Integer ceiling of `p * total`, spelled out because `f64::ceil`
+        // lives in std and this crate also builds for `no_std` targets.
+        let scaled = p.clamp(0.0, 1.0) * self.total as f64;
+        let trunc = scaled as u64;
+        let target = if scaled > trunc as f64 { trunc + 1 } else { trunc };
         let mut acc = 0u64;
         for (i, &count) in self.buckets.iter().enumerate() {
             acc += count;

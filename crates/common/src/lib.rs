@@ -21,22 +21,32 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
+
+extern crate alloc;
 
 pub mod access;
 pub mod addr;
+#[cfg(feature = "std")]
 pub mod fault;
 pub mod histogram;
+#[cfg(feature = "std")]
 pub mod json;
 pub mod rng;
 pub mod stats;
+#[cfg(feature = "std")]
 pub mod table;
+#[cfg(feature = "std")]
 pub mod telemetry;
 
 pub use access::{Access, AccessKind};
 pub use addr::{Addr, CoreId, LineAddr, Pc};
+#[cfg(feature = "std")]
 pub use fault::{active_fault_plan, set_fault_plan, FaultPlan, FaultSite};
 pub use histogram::Log2Histogram;
+#[cfg(feature = "std")]
 pub use json::JsonValue;
 pub use rng::{DetRng, FastRange};
 pub use stats::CacheStats;
+#[cfg(feature = "std")]
 pub use telemetry::{CounterSink, Event, EventSink, JsonlSink, NullSink};

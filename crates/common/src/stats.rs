@@ -1,6 +1,6 @@
 //! Counter bundles and ratio helpers shared across cache levels.
 
-use std::fmt;
+use core::fmt;
 
 /// Hit/miss/eviction counters for one cache (or one region of a cache).
 ///
@@ -110,6 +110,10 @@ pub fn ratio(num: u64, den: u64) -> f64 {
 
 /// Geometric mean of a slice of positive values; 0 if empty or any value
 /// is non-positive.
+///
+/// Gated out of `no_std` builds: `f64::ln`/`exp` live in std, and the
+/// reporting paths that aggregate speedups always run hosted.
+#[cfg(any(feature = "std", test))]
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
         return 0.0;

@@ -1,56 +1,16 @@
 //! NUcache configuration knobs.
+//!
+//! The policy enum, the `DEFAULT_*` design-point constants and the
+//! selection machinery itself live in the embeddable
+//! [`nucache_kernel`] crate; this module re-exports them and keeps
+//! [`NuCacheConfig`], the simulator-facing configuration (geometry is
+//! supplied separately by [`nucache_cache::CacheGeometry`], so unlike
+//! [`nucache_kernel::KernelConfig`] it carries no set/way counts).
 
-use std::fmt;
-
-/// How the set of chosen PCs is computed each epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SelectionStrategy {
-    /// The paper's mechanism: greedy cost-benefit maximization of expected
-    /// DeliWays hits using Next-Use histograms.
-    CostBenefit,
-    /// Exhaustive subset search over the top candidates (the selection
-    /// upper bound the greedy pass is compared against; exponential, so
-    /// the candidate pool is capped — see
-    /// [`NuCacheConfig::oracle_pool`]).
-    Exhaustive,
-    /// Always choose the `k` PCs with the most misses, ignoring Next-Use
-    /// information (ablation: shows delinquency alone is not enough).
-    StaticTopK(usize),
-    /// Choose `k` candidate PCs uniformly at random each epoch
-    /// (ablation lower bound).
-    Random(usize),
-    /// Never choose any PC: DeliWays stay empty and NUcache degrades to
-    /// an LRU cache of `MainWays` associativity (worst case sanity
-    /// bound).
-    None,
-}
-
-impl fmt::Display for SelectionStrategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SelectionStrategy::CostBenefit => f.write_str("cost-benefit"),
-            SelectionStrategy::Exhaustive => f.write_str("exhaustive"),
-            SelectionStrategy::StaticTopK(k) => write!(f, "static-top-{k}"),
-            SelectionStrategy::Random(k) => write!(f, "random-{k}"),
-            SelectionStrategy::None => f.write_str("none"),
-        }
-    }
-}
-
-/// Default DeliWays per set (half of the 16-way baseline LLC).
-pub const DEFAULT_DELI_WAYS: usize = 8;
-/// Default LLC accesses between PC re-selections.
-pub const DEFAULT_EPOCH_LEN: u64 = 100_000;
-/// Default delinquent-PC candidate pool per selection.
-pub const DEFAULT_MAX_CANDIDATES: usize = 32;
-/// Default candidate cap for the exhaustive selection oracle.
-pub const DEFAULT_ORACLE_POOL: usize = 12;
-/// Default monitor sampling: one set in `2^DEFAULT_MONITOR_SHIFT`.
-pub const DEFAULT_MONITOR_SHIFT: u32 = 5;
-/// Default entries per sampled monitor set.
-pub const DEFAULT_MONITOR_DEPTH: usize = 64;
-/// Default buckets per per-PC Next-Use histogram.
-pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 32;
+pub use nucache_kernel::{
+    SelectionStrategy, DEFAULT_DELI_WAYS, DEFAULT_EPOCH_LEN, DEFAULT_HISTOGRAM_BUCKETS,
+    DEFAULT_MAX_CANDIDATES, DEFAULT_MONITOR_DEPTH, DEFAULT_MONITOR_SHIFT, DEFAULT_ORACLE_POOL,
+};
 
 /// Configuration of a [`NuCache`](crate::NuCache) instance.
 ///
@@ -157,6 +117,29 @@ impl NuCacheConfig {
         assert!(self.monitor_depth > 0, "zero monitor depth");
         assert!(self.histogram_buckets > 0 && self.histogram_buckets <= 64, "bad bucket count");
         assert!(self.oracle_pool >= 1 && self.oracle_pool <= 20, "oracle pool out of range");
+    }
+
+    /// Lowers this simulator configuration to a kernel configuration for
+    /// a cache with `sets` sets of `ways` ways. Every policy knob maps
+    /// one-to-one; only the geometry (which the simulator keeps in
+    /// [`nucache_cache::CacheGeometry`]) is added.
+    #[must_use]
+    pub fn to_kernel(&self, sets: usize, ways: usize) -> nucache_kernel::KernelConfig {
+        let mut k = nucache_kernel::KernelConfig::default()
+            .with_sets(sets)
+            .with_ways(ways)
+            .with_deli_ways(self.deli_ways)
+            .with_epoch_len(self.epoch_len)
+            .with_strategy(self.strategy)
+            .with_seed(self.seed);
+        k.max_candidates = self.max_candidates;
+        k.oracle_pool = self.oracle_pool;
+        k.monitor_shift = self.monitor_shift;
+        k.monitor_depth = self.monitor_depth;
+        k.histogram_buckets = self.histogram_buckets;
+        k.promote_on_deli_hit = self.promote_on_deli_hit;
+        k.deli_hit_refresh = self.deli_hit_refresh;
+        k
     }
 }
 

@@ -1,196 +1,26 @@
-//! Delinquent-PC accounting: which static instructions cause the misses.
+//! Delinquent-PC accounting — the kernel's generic tracker, keyed by PC.
 //!
-//! The DelinquentPC observation underpinning NUcache is that a handful of
-//! PCs produce most LLC misses. This tracker maintains per-PC miss (and
-//! fill) counters over a window, with exponential decay at epoch
-//! boundaries and a hard cap on tracked PCs so the structure stays
-//! hardware-plausible: when full, the weakest entry is reclaimed for a
-//! newly hot PC (a standard victim-replacement counter table).
+//! The implementation lives in [`nucache_kernel::tracker`]; the simulator
+//! instantiates the insertion-class parameter with [`Pc`], the static
+//! instruction that caused the miss (the paper's DelinquentPC notion).
 
 use nucache_common::Pc;
-use std::collections::BTreeMap;
 
 /// Per-PC miss counters with bounded capacity and epoch decay.
-///
-/// # Examples
-///
-/// ```
-/// use nucache_core::DelinquentTracker;
-/// use nucache_common::Pc;
-///
-/// let mut t = DelinquentTracker::new(8);
-/// t.record_miss(Pc::new(0x400));
-/// t.record_miss(Pc::new(0x400));
-/// t.record_miss(Pc::new(0x408));
-/// let top = t.top_k(1);
-/// assert_eq!(top[0].0, Pc::new(0x400));
-/// assert_eq!(top[0].1, 2);
-/// ```
-#[derive(Debug, Clone)]
-pub struct DelinquentTracker {
-    capacity: usize,
-    /// Keyed by PC in a `BTreeMap` so every iteration (victim scan,
-    /// top-k) visits entries in PC order — tie-breaks are deterministic
-    /// by construction, never a function of hasher state.
-    misses: BTreeMap<Pc, u64>,
-    total_misses: u64,
-}
-
-impl DelinquentTracker {
-    /// Creates a tracker holding at most `capacity` PCs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "zero capacity");
-        DelinquentTracker { capacity, misses: BTreeMap::new(), total_misses: 0 }
-    }
-
-    /// Records one miss caused by `pc`.
-    pub fn record_miss(&mut self, pc: Pc) {
-        self.total_misses += 1;
-        if let Some(c) = self.misses.get_mut(&pc) {
-            *c += 1;
-            return;
-        }
-        if self.misses.len() >= self.capacity {
-            // Reclaim the weakest entry; BTreeMap iteration is in PC order
-            // and min_by_key keeps the first minimum, so equal counts
-            // resolve to the lowest PC.
-            let victim = self
-                .misses
-                .iter()
-                .min_by_key(|&(_, c)| *c)
-                .map(|(p, _)| *p)
-                .expect("non-empty map at capacity");
-            self.misses.remove(&victim);
-        }
-        self.misses.insert(pc, 1);
-    }
-
-    /// Misses recorded for `pc` in the current window.
-    pub fn misses_of(&self, pc: Pc) -> u64 {
-        self.misses.get(&pc).copied().unwrap_or(0)
-    }
-
-    /// Total misses observed (including those from untracked PCs).
-    pub const fn total_misses(&self) -> u64 {
-        self.total_misses
-    }
-
-    /// Number of PCs currently tracked.
-    pub fn len(&self) -> usize {
-        self.misses.len()
-    }
-
-    /// Whether no PC has missed yet.
-    pub fn is_empty(&self) -> bool {
-        self.misses.is_empty()
-    }
-
-    /// The `k` PCs with the most misses, descending (ties broken by PC for
-    /// determinism).
-    pub fn top_k(&self, k: usize) -> Vec<(Pc, u64)> {
-        let mut v: Vec<(Pc, u64)> = self.misses.iter().map(|(p, c)| (*p, *c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v.truncate(k);
-        v
-    }
-
-    /// Fraction of tracked misses covered by the top `k` PCs (the
-    /// DelinquentPC concentration statistic of Fig. 1).
-    pub fn top_k_coverage(&self, k: usize) -> f64 {
-        let tracked: u64 = self.misses.values().sum();
-        if tracked == 0 {
-            return 0.0;
-        }
-        let top: u64 = self.top_k(k).iter().map(|&(_, c)| c).sum();
-        top as f64 / tracked as f64
-    }
-
-    /// Halves every counter and drops emptied entries (epoch decay).
-    pub fn decay(&mut self) {
-        self.misses.retain(|_, c| {
-            *c /= 2;
-            *c > 0
-        });
-        self.total_misses /= 2;
-    }
-
-    /// Clears everything.
-    pub fn clear(&mut self) {
-        self.misses.clear();
-        self.total_misses = 0;
-    }
-}
+pub type DelinquentTracker = nucache_kernel::DelinquentTracker<Pc>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn counts_and_orders() {
-        let mut t = DelinquentTracker::new(16);
-        for _ in 0..5 {
-            t.record_miss(Pc::new(1));
-        }
-        for _ in 0..3 {
-            t.record_miss(Pc::new(2));
-        }
-        t.record_miss(Pc::new(3));
-        let top = t.top_k(2);
-        assert_eq!(top, vec![(Pc::new(1), 5), (Pc::new(2), 3)]);
-        assert_eq!(t.total_misses(), 9);
-        assert_eq!(t.misses_of(Pc::new(3)), 1);
-        assert_eq!(t.misses_of(Pc::new(99)), 0);
-    }
-
-    #[test]
-    fn capacity_evicts_weakest() {
-        let mut t = DelinquentTracker::new(2);
-        for _ in 0..10 {
-            t.record_miss(Pc::new(1));
-        }
-        t.record_miss(Pc::new(2));
-        t.record_miss(Pc::new(3)); // evicts PC 2 (weakest)
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.misses_of(Pc::new(2)), 0);
-        assert_eq!(t.misses_of(Pc::new(1)), 10);
-        assert_eq!(t.misses_of(Pc::new(3)), 1);
-    }
-
-    #[test]
-    fn coverage_concentrates() {
-        let mut t = DelinquentTracker::new(64);
-        for _ in 0..90 {
-            t.record_miss(Pc::new(7));
-        }
-        for p in 0..10 {
-            t.record_miss(Pc::new(100 + p));
-        }
-        assert!(t.top_k_coverage(1) > 0.89);
-        assert!((t.top_k_coverage(100) - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn decay_halves_and_prunes() {
+    fn pc_instantiation_tracks_and_ranks() {
         let mut t = DelinquentTracker::new(8);
-        t.record_miss(Pc::new(1));
-        for _ in 0..4 {
-            t.record_miss(Pc::new(2));
+        for _ in 0..3 {
+            t.record_miss(Pc::new(0x400));
         }
-        t.decay();
-        assert_eq!(t.misses_of(Pc::new(1)), 0, "count 1 decays to 0 and is pruned");
-        assert_eq!(t.misses_of(Pc::new(2)), 2);
-        assert_eq!(t.len(), 1);
-    }
-
-    #[test]
-    fn empty_edge_cases() {
-        let t = DelinquentTracker::new(4);
-        assert!(t.is_empty());
-        assert_eq!(t.top_k(3), vec![]);
-        assert_eq!(t.top_k_coverage(3), 0.0);
+        t.record_miss(Pc::new(0x408));
+        assert_eq!(t.top_k(1), vec![(Pc::new(0x400), 3)]);
+        assert!(t.top_k_coverage(1) > 0.74);
     }
 }

@@ -50,13 +50,26 @@
 //!
 //! # Crate layout
 //!
-//! * [`NuCacheConfig`] — all knobs with paper-faithful defaults;
-//! * [`delinquent`] — per-PC miss accounting, top-K extraction;
-//! * [`monitor`] — the sampled Next-Use monitor;
+//! The mechanism itself lives in the embeddable [`nucache_kernel`]
+//! crate (`no_std + alloc` capable, generic over the insertion class);
+//! this crate instantiates it for the simulator — class =
+//! [`Pc`](nucache_common::Pc), key = raw
+//! [`LineAddr`](nucache_common::LineAddr) — and keeps the
+//! simulator-specific surface:
+//!
+//! * [`NuCacheConfig`] — all knobs with paper-faithful defaults,
+//!   lowered to a [`nucache_kernel::KernelConfig`] via
+//!   [`NuCacheConfig::to_kernel`];
+//! * [`delinquent`] — per-PC miss accounting, top-K extraction (kernel
+//!   tracker, PC-keyed);
+//! * [`monitor`] — the sampled Next-Use monitor (kernel monitor,
+//!   PC-keyed);
 //! * [`selector`] — cost-benefit, exhaustive (oracle), static-top-k and
-//!   random selection strategies;
-//! * [`NuCache`] — the MainWays/DeliWays LLC organization implementing
-//!   [`nucache_cache::SharedLlc`];
+//!   random selection strategies (kernel selector, PC-keyed);
+//! * [`NuCache`] — the thin adapter implementing
+//!   [`nucache_cache::SharedLlc`] over
+//!   [`nucache_kernel::NucacheKernel`]: per-core stats, write-back
+//!   accounting, telemetry event conversion;
 //! * [`overhead`] — hardware storage-cost model for the overhead table.
 //!
 //! # Examples

@@ -1,28 +1,37 @@
-//! The NUcache LLC organization: MainWays + DeliWays.
+//! The NUcache LLC organization: a thin simulator adapter over the
+//! embeddable [`nucache_kernel`] state machine.
+//!
+//! The MainWays/DeliWays replacement logic, the Next-Use monitor, the
+//! delinquent tracker and the epoch selection all live in
+//! [`NucacheKernel`]; this adapter maps the simulator's vocabulary onto
+//! the kernel's keyed API:
+//!
+//! * key — the raw [`LineAddr`] (`line.0`); the kernel's set/tag split
+//!   is exactly the geometry's;
+//! * insertion class — the allocating [`Pc`] (the paper's DelinquentPC);
+//! * value — the per-line simulator state (the private `LineInfo`:
+//!   allocating core + dirty bit);
+//!
+//! and layers on what only the simulator cares about: per-core stats
+//! attribution, write-back accounting, [`Event`] telemetry conversion
+//! and the [`SharedLlc`] trait surface the driver's monomorphized hot
+//! loop dispatches on.
 
-use crate::config::{NuCacheConfig, SelectionStrategy};
+use crate::config::NuCacheConfig;
 use crate::delinquent::DelinquentTracker;
 use crate::monitor::NextUseMonitor;
-use crate::selector::{build_candidates, evaluate_chosen, select_pcs, Candidate, Selection};
-use nucache_cache::meta::{AccessOutcome, EvictedLine, LineMeta};
-use nucache_cache::{AuditStats, CacheGeometry, SetArray, SharedLlc};
+use crate::selector::Selection;
+use nucache_cache::meta::{AccessOutcome, EvictedLine};
+use nucache_cache::{AuditStats, CacheGeometry, SharedLlc};
 use nucache_common::telemetry::{Event, PcSnapshot};
 use nucache_common::{AccessKind, CacheStats, CoreId, LineAddr, Pc};
-use std::collections::{BTreeMap, BTreeSet};
+use nucache_kernel::{Evicted, Lookup, NucacheKernel};
 
-/// Candidate PCs included per [`Event::SelectionEpoch`] snapshot; enough
-/// to cover every realistic chosen set (DeliWays ≤ 16) with headroom for
-/// the rejected tail the cost-benefit analysis argued about.
-const TELEMETRY_TOP_PCS: usize = 16;
-
-/// Mask with the low `n` bits set (`n` up to 64).
-#[inline]
-const fn low_mask(n: usize) -> u64 {
-    if n >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << n) - 1
-    }
+/// Per-line simulator state stored as the kernel's value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineInfo {
+    core: CoreId,
+    dirty: bool,
 }
 
 /// A shared LLC organized as NUcache.
@@ -45,67 +54,11 @@ const fn low_mask(n: usize) -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct NuCache {
-    array: SetArray,
-    main_ways: usize,
-    deli_ways: usize,
+    kernel: NucacheKernel<LineInfo, Pc>,
+    geom: CacheGeometry,
     config: NuCacheConfig,
-    /// LRU stamps for ways `[0, main_ways)` of each set.
-    main_touch: Vec<u64>,
-    /// FIFO entry stamps for ways `[main_ways, assoc)` of each set.
-    deli_entry: Vec<u64>,
-    stamp: u64,
-    monitor: NextUseMonitor,
-    tracker: DelinquentTracker,
-    /// DeliWays insertions per PC this window: a retained PC stops
-    /// missing, so its continued delinquency (and its true FIFO
-    /// pressure) shows up here rather than in the miss tracker.
-    /// PC-ordered so the candidate merge in [`NuCache::combined_fills`]
-    /// never depends on hasher state.
-    deli_fills_by_pc: BTreeMap<Pc, u64>,
-    chosen: BTreeSet<Pc>,
-    last_selection: Selection,
-    /// Global accesses in the current decay window — the denominator the
-    /// fill-rate (lifetime) estimate pairs with the fill counts. Counted
-    /// globally rather than scaled up from the sampled sets, because
-    /// strided workloads skew traffic across sets and break the sampled
-    /// estimate.
-    window_accesses: u64,
-    accesses_in_epoch: u64,
-    epochs: u64,
-    deli_hits: u64,
-    deli_fills: u64,
     stats: CacheStats,
     core_stats: Vec<CacheStats>,
-    /// When set, each selection epoch appends an
-    /// [`Event::SelectionEpoch`] to `pending_events` for the driver to
-    /// drain. Off by default: the only cost while disabled is this one
-    /// branch per epoch.
-    telemetry: bool,
-    pending_events: Vec<Event>,
-    /// Epoch-invariant oracle state; `Some` while auditing is enabled
-    /// (which also turns on the tag array's reference mirror).
-    audit: Option<EpochAudit>,
-}
-
-/// Counter snapshots for the audit oracle's monotonicity checks.
-///
-/// Each field records the value at the last check; counters must never
-/// decrease between checks within an epoch. The decay at each selection
-/// epoch (and an explicit stats reset) legitimately shrinks them, so both
-/// paths refresh the snapshot via [`NuCache::audit_snapshot`].
-#[derive(Debug, Clone, Default)]
-struct EpochAudit {
-    accesses: u64,
-    deli_hits: u64,
-    deli_fills: u64,
-    window_accesses: u64,
-    recorded: u64,
-    matched: u64,
-    /// Monitor counters at the start of the current decay window, for the
-    /// bounded matched-vs-recorded check.
-    window_recorded: u64,
-    window_matched: u64,
-    epoch_checks: u64,
 }
 
 impl NuCache {
@@ -118,175 +71,58 @@ impl NuCache {
     pub fn new(geom: CacheGeometry, num_cores: usize, config: NuCacheConfig) -> Self {
         assert!(num_cores > 0, "need at least one core");
         config.validate(geom.associativity());
-        let main_ways = geom.associativity() - config.deli_ways;
+        let kc = config.to_kernel(geom.num_sets(), geom.associativity());
         #[allow(unused_mut)] // mut only needed under debug_invariants
         let mut llc = NuCache {
-            array: SetArray::new(geom),
-            main_ways,
-            deli_ways: config.deli_ways,
-            monitor: NextUseMonitor::new(
-                geom.set_bits(),
-                config.monitor_shift.min(geom.set_bits()),
-                config.monitor_depth,
-                config.histogram_buckets,
-            ),
-            tracker: DelinquentTracker::new(256.max(config.max_candidates)),
-            deli_fills_by_pc: BTreeMap::new(),
-            chosen: BTreeSet::new(),
-            last_selection: Selection { chosen: Vec::new(), expected_hits: 0, extra_lifetime: 0 },
-            window_accesses: 0,
-            main_touch: vec![0; geom.num_lines()],
-            deli_entry: vec![0; geom.num_lines()],
-            stamp: 0,
+            kernel: NucacheKernel::init(kc).expect("NuCacheConfig::validate covers kernel rules"),
+            geom,
             config,
-            accesses_in_epoch: 0,
-            epochs: 0,
-            deli_hits: 0,
-            deli_fills: 0,
             stats: CacheStats::default(),
             core_stats: vec![CacheStats::default(); num_cores],
-            telemetry: false,
-            pending_events: Vec::new(),
-            audit: None,
         };
         #[cfg(feature = "debug_invariants")]
         llc.enable_audit();
         llc
     }
 
-    /// Enables the differential audit oracle: the tag array mirrors every
-    /// operation into a naive reference model
-    /// ([`nucache_cache::audit::ReferenceArray`]) and each selection epoch
-    /// verifies NUcache's invariants (DeliWays occupancy within capacity,
-    /// monotone counters, selection objective reproducible from the
-    /// candidates). Violations panic at the faulting operation.
+    /// Enables the differential audit oracle: the kernel mirrors every
+    /// array operation into a naive reference model of residency and
+    /// each selection epoch verifies NUcache's invariants (DeliWays
+    /// occupancy within capacity, monotone counters, selection objective
+    /// reproducible from the candidates). The adapter additionally
+    /// cross-checks per-core stats attribution against the aggregate on
+    /// every access. Violations panic at the faulting operation.
     pub fn enable_audit(&mut self) {
-        self.array.enable_audit();
-        self.audit = Some(EpochAudit::default());
-        self.audit_snapshot();
+        self.kernel.enable_audit();
     }
 
     /// Disables the audit oracle and drops its mirror state.
     pub fn disable_audit(&mut self) {
-        self.array.disable_audit();
-        self.audit = None;
+        self.kernel.disable_audit();
     }
 
-    /// Refreshes the oracle's counter snapshots to the current values
-    /// (after the epoch decay or a stats reset, which legitimately move
-    /// counters backwards).
-    fn audit_snapshot(&mut self) {
-        let accesses = self.stats.accesses();
-        let (dh, df, wa) = (self.deli_hits, self.deli_fills, self.window_accesses);
-        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
-        if let Some(a) = &mut self.audit {
-            a.accesses = accesses;
-            a.deli_hits = dh;
-            a.deli_fills = df;
-            a.window_accesses = wa;
-            a.recorded = rec;
-            a.matched = mat;
-            a.window_recorded = rec;
-            a.window_matched = mat;
-        }
-    }
-
-    /// Per-access oracle checks: counters monotone since the last check
-    /// and per-core attribution consistent with the aggregate.
+    /// Per-core attribution check, the one audit invariant that lives in
+    /// the adapter (the kernel has no notion of cores).
     #[cold]
     #[inline(never)]
-    fn audit_access_check(&mut self) {
-        let (hits, misses) = (self.stats.hits, self.stats.misses);
+    fn audit_core_attribution(&self) {
         let core_hits: u64 = self.core_stats.iter().map(|c| c.hits).sum();
         let core_misses: u64 = self.core_stats.iter().map(|c| c.misses).sum();
-        let (dh, df, wa) = (self.deli_hits, self.deli_fills, self.window_accesses);
-        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
-        let Some(a) = &mut self.audit else { return };
         assert_eq!(
             (core_hits, core_misses),
-            (hits, misses),
+            (self.stats.hits, self.stats.misses),
             "audit: per-core counters must sum to the aggregate"
         );
-        assert!(dh <= hits, "audit: DeliWays hits ({dh}) exceed total hits ({hits})");
-        assert!(
-            hits + misses >= a.accesses,
-            "audit: access counter moved backwards within an epoch"
-        );
-        assert!(
-            dh >= a.deli_hits && df >= a.deli_fills,
-            "audit: DeliWays counters moved backwards within an epoch"
-        );
-        assert!(
-            wa >= a.window_accesses,
-            "audit: window access counter moved backwards within an epoch"
-        );
-        assert!(
-            rec >= a.recorded && mat >= a.matched,
-            "audit: monitor counters moved backwards within an epoch"
-        );
-        a.accesses = hits + misses;
-        a.deli_hits = dh;
-        a.deli_fills = df;
-        a.window_accesses = wa;
-        a.recorded = rec;
-        a.matched = mat;
-    }
-
-    /// Epoch-boundary oracle checks, run after selection but before the
-    /// decay so occupancy and monitor state are what the selector saw.
-    fn audit_epoch_check(&mut self, candidates: &[Candidate]) {
-        let capacity = (self.deli_ways * self.array.geometry().num_sets()) as u64;
-        let occ = self.deli_occupancy();
-        assert!(occ <= capacity, "audit: DeliWays occupancy {occ} exceeds capacity {capacity}");
-        let from_selection: BTreeSet<Pc> = self.last_selection.chosen.iter().copied().collect();
-        assert!(
-            self.chosen == from_selection,
-            "audit: admitted PC set {:?} disagrees with the selection {:?}",
-            self.chosen,
-            self.last_selection.chosen
-        );
-        // The analytic strategies report an objective value; re-deriving it
-        // for the chosen set from the same candidates must reproduce it.
-        let analytic = matches!(
-            self.config.strategy,
-            SelectionStrategy::CostBenefit | SelectionStrategy::Exhaustive
-        );
-        if analytic && !self.last_selection.chosen.is_empty() {
-            let recomputed = evaluate_chosen(
-                candidates,
-                &self.last_selection.chosen,
-                self.deli_ways,
-                self.window_accesses.max(1),
-            );
-            assert_eq!(
-                recomputed,
-                Some((self.last_selection.expected_hits, self.last_selection.extra_lifetime)),
-                "audit: selection objective not reproducible from the candidates"
-            );
-        }
-        // Every monitor match consumes a buffered eviction recorded either
-        // in this decay window or already buffered when it started.
-        let buffer_cap = (self.config.monitor_depth * self.monitor.sampled_sets()) as u64;
-        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
-        let a = self.audit.as_mut().expect("epoch check runs only while auditing");
-        let window_matched = mat.saturating_sub(a.window_matched);
-        let window_recorded = rec.saturating_sub(a.window_recorded);
-        assert!(
-            window_matched <= window_recorded + buffer_cap,
-            "audit: {window_matched} monitor matches cannot come from {window_recorded} \
-             recorded evictions plus a buffer of {buffer_cap}"
-        );
-        a.epoch_checks += 1;
     }
 
     /// Number of MainWays per set.
     pub const fn main_ways(&self) -> usize {
-        self.main_ways
+        self.kernel.main_ways()
     }
 
     /// Number of DeliWays per set.
     pub const fn deli_ways(&self) -> usize {
-        self.deli_ways
+        self.kernel.deli_ways()
     }
 
     /// The active configuration.
@@ -296,307 +132,110 @@ impl NuCache {
 
     /// PCs currently admitted to the DeliWays.
     pub fn chosen_pcs(&self) -> Vec<Pc> {
-        let mut v: Vec<Pc> = self.chosen.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.kernel.chosen_classes()
     }
 
     /// The outcome of the most recent selection pass.
     pub const fn last_selection(&self) -> &Selection {
-        &self.last_selection
+        self.kernel.last_selection()
     }
 
     /// Completed selection epochs.
     pub const fn epochs(&self) -> u64 {
-        self.epochs
+        self.kernel.epochs()
     }
 
     /// Hits satisfied from the DeliWays.
     pub const fn deli_hits(&self) -> u64 {
-        self.deli_hits
+        self.kernel.deli_hits()
     }
 
     /// Lines moved from MainWays into DeliWays.
     pub const fn deli_fills(&self) -> u64 {
-        self.deli_fills
+        self.kernel.deli_fills()
     }
 
     /// Read access to the delinquent-PC tracker (Fig. 1 uses this).
     pub const fn tracker(&self) -> &DelinquentTracker {
-        &self.tracker
+        self.kernel.tracker()
     }
 
     /// Read access to the Next-Use monitor (Fig. 2 uses this).
     pub const fn monitor(&self) -> &NextUseMonitor {
-        &self.monitor
+        self.kernel.monitor()
     }
 
     /// Current combined fill counts (demand misses + DeliWays insertions)
     /// per PC, descending — the quantity candidate ranking and the
     /// lifetime cost model use. Exposed for diagnostics and tests.
     pub fn combined_fills(&self) -> Vec<(Pc, u64)> {
-        let mut combined: BTreeMap<Pc, u64> = self.deli_fills_by_pc.clone();
-        for (pc, misses) in self.tracker.top_k(self.tracker.len()) {
-            *combined.entry(pc).or_insert(0) += misses;
-        }
-        let mut v: Vec<(Pc, u64)> = combined.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v
+        self.kernel.combined_fills()
     }
 
     /// Access denominator the selector pairs with
     /// [`NuCache::combined_fills`] (global accesses in the decay window).
     pub fn selection_accesses(&self) -> u64 {
-        self.window_accesses
-    }
-
-    #[inline]
-    fn frame(&self, set: usize, way: usize) -> usize {
-        set * self.array.geometry().associativity() + way
-    }
-
-    /// First invalid way among the MainWays of `set`, from the valid
-    /// bitmask — the bit scan replaces a per-way [`SetArray::get`] probe
-    /// on the miss path.
-    #[inline]
-    fn free_main_way(&self, set: usize) -> Option<usize> {
-        let free = !self.array.valid_mask(set) & low_mask(self.main_ways);
-        (free != 0).then(|| free.trailing_zeros() as usize)
-    }
-
-    fn touch_main(&mut self, set: usize, way: usize) {
-        self.stamp += 1;
-        let f = self.frame(set, way);
-        self.main_touch[f] = self.stamp;
-    }
-
-    /// LRU victim among the MainWays of `set` (which are full).
-    fn main_victim(&self, set: usize) -> usize {
-        (0..self.main_ways)
-            .min_by_key(|&w| self.main_touch[self.frame(set, w)])
-            .expect("at least one MainWay")
-    }
-
-    /// FIFO victim among the DeliWays of `set`, or the first invalid one.
-    fn deli_slot(&self, set: usize) -> usize {
-        debug_assert!(self.deli_ways > 0, "deli_slot needs DeliWays");
-        let free = (!self.array.valid_mask(set) >> self.main_ways) & low_mask(self.deli_ways);
-        if free != 0 {
-            return self.main_ways + free.trailing_zeros() as usize;
-        }
-        (self.main_ways..self.main_ways + self.deli_ways)
-            .min_by_key(|&w| self.deli_entry[self.frame(set, w)])
-            .expect("deli_ways > 0 when called")
-    }
-
-    /// Handles a line leaving the MainWays: moves it into the DeliWays if
-    /// its PC is chosen (returning the line the FIFO dropped, if any) or
-    /// lets it leave the cache. Either way the monitor sees the eviction —
-    /// Next-Use is defined from MainWays eviction for every line, so the
-    /// selector can discover PCs that are not currently chosen.
-    fn retire_from_main(&mut self, set: usize, victim: EvictedLine) -> Option<EvictedLine> {
-        self.monitor.on_evict(victim.line, victim.pc);
-        if self.deli_ways == 0 || !self.chosen.contains(&victim.pc) {
-            return Some(victim);
-        }
-        let slot = self.deli_slot(set);
-        let geom = *self.array.geometry();
-        let meta = LineMeta::new(geom.tag_of(victim.line), victim.core, victim.pc, victim.dirty);
-        let dropped = self.array.fill(set, slot, meta);
-        self.stamp += 1;
-        let f = self.frame(set, slot);
-        self.deli_entry[f] = self.stamp;
-        self.deli_fills += 1;
-        *self.deli_fills_by_pc.entry(victim.pc).or_insert(0) += 1;
-        // A line aging out of the DeliWays FIFO leaves the cache for good;
-        // its Next-Use from this (second) eviction is not what the
-        // selector models, so it is not re-recorded.
-        dropped
-    }
-
-    fn run_selection(&mut self) {
-        self.epochs += 1;
-        let pool = match self.config.strategy {
-            crate::config::SelectionStrategy::Exhaustive => self.config.oracle_pool,
-            _ => self.config.max_candidates,
-        };
-        // Candidate fills combine demand misses with DeliWays insertions:
-        // for an unretained PC the former dominates; for a retained PC the
-        // latter is both its continued-delinquency evidence and its actual
-        // FIFO pressure. Without the combination, successfully retained
-        // PCs stop missing, vanish from the candidate list and selection
-        // oscillates.
-        let mut combined: BTreeMap<Pc, u64> = self.deli_fills_by_pc.clone();
-        for (pc, misses) in self.tracker.top_k(self.tracker.len()) {
-            *combined.entry(pc).or_insert(0) += misses;
-        }
-        let mut top: Vec<(Pc, u64)> = combined.into_iter().collect();
-        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        top.truncate(pool);
-        let candidates = build_candidates(&top, self.monitor.histograms());
-        // Fill counts and the access denominator are both global over the
-        // same decayed window, so their ratio is the per-set fill rate;
-        // the monitor's per-set-clock histograms use the same currency.
-        let accesses_global = self.window_accesses;
-        self.last_selection = select_pcs(
-            &candidates,
-            self.deli_ways,
-            accesses_global.max(1),
-            self.config.strategy,
-            self.config.seed ^ self.epochs,
-        );
-        self.chosen = self.last_selection.chosen.iter().copied().collect();
-        if self.telemetry {
-            self.pending_events.push(self.selection_snapshot(&top));
-        }
-        if self.audit.is_some() {
-            self.audit_epoch_check(&candidates);
-        }
-        self.tracker.decay();
-        self.monitor.decay();
-        self.deli_fills_by_pc.retain(|_, c| {
-            *c /= 2;
-            *c > 0
-        });
-        self.window_accesses /= 2;
-        if self.audit.is_some() {
-            self.audit_snapshot();
-        }
+        self.kernel.selection_accesses()
     }
 
     /// Valid lines currently resident in the DeliWays across all sets.
     pub fn deli_occupancy(&self) -> u64 {
-        let geom = self.array.geometry();
-        (0..geom.num_sets())
-            .map(|s| {
-                (self.main_ways..self.main_ways + self.deli_ways)
-                    .filter(|&w| self.array.get(s, w).is_some())
-                    .count() as u64
-            })
-            .sum()
+        self.kernel.deli_occupancy()
     }
 
-    /// Builds the telemetry snapshot of the selection that just ran.
-    /// Called before the epoch decays, so fills, window accesses and
-    /// histogram summaries are exactly what the selector saw.
-    fn selection_snapshot(&self, top: &[(Pc, u64)]) -> Event {
-        let quant = |pc: Pc, p: f64| self.monitor.histogram(pc).and_then(|h| h.quantile(p));
-        let top_pcs: Vec<PcSnapshot> = top
-            .iter()
-            .take(TELEMETRY_TOP_PCS)
-            .map(|&(pc, fills)| PcSnapshot {
-                pc,
-                fills,
-                chosen: self.chosen.contains(&pc),
-                samples: self.monitor.histogram(pc).map_or(0, |h| h.total()),
-                p25: quant(pc, 0.25),
-                p50: quant(pc, 0.5),
-                p75: quant(pc, 0.75),
-                p90: quant(pc, 0.9),
-            })
-            .collect();
-        Event::SelectionEpoch {
-            epoch: self.epochs,
-            window_accesses: self.window_accesses,
-            chosen: self.chosen_pcs(),
-            expected_hits: self.last_selection.expected_hits,
-            extra_lifetime: self.last_selection.extra_lifetime,
-            deli_hits: self.deli_hits,
-            deli_fills: self.deli_fills,
-            deli_occupancy: self.deli_occupancy(),
-            deli_capacity: (self.deli_ways * self.array.geometry().num_sets()) as u64,
-            top_pcs,
-        }
-    }
-
-    fn epoch_tick(&mut self) {
-        self.accesses_in_epoch += 1;
-        if self.accesses_in_epoch >= self.config.epoch_len {
-            self.accesses_in_epoch = 0;
-            self.run_selection();
+    /// Maps an eviction leaving the kernel back into the simulator's
+    /// vocabulary.
+    fn to_evicted_line(ev: Evicted<LineInfo, Pc>) -> EvictedLine {
+        EvictedLine {
+            line: LineAddr::new(ev.key),
+            dirty: ev.value.dirty,
+            core: ev.value.core,
+            pc: ev.class,
         }
     }
 }
 
 impl SharedLlc for NuCache {
     fn access(&mut self, core: CoreId, pc: Pc, line: LineAddr, kind: AccessKind) -> AccessOutcome {
-        let geom = *self.array.geometry();
-        let set = geom.set_of(line);
-        let tag = geom.tag_of(line);
-        self.monitor.on_set_access(line);
-        self.window_accesses += 1;
-        self.epoch_tick();
+        // First phase against the kernel: the lookup. Owned results are
+        // extracted immediately so the miss path can call back into the
+        // kernel for the fill.
+        let hit = match self.kernel.get(line.0, pc) {
+            Lookup::Hit { value, evicted, .. } => {
+                if kind.is_write() {
+                    value.dirty = true;
+                }
+                Some(evicted)
+            }
+            Lookup::Miss => None,
+        };
 
-        if let Some(way) = self.array.find(set, tag) {
+        let outcome = if let Some(promotion_eviction) = hit {
             self.stats.record_hit();
             self.core_stats[core.index()].record_hit();
-            if kind.is_write() {
-                self.array.mark_dirty(set, way);
+            // A DeliWays-hit promotion can displace a MainWays victim out
+            // of the cache entirely; that leaves through here and only
+            // its write-back matters to the outer layers.
+            if let Some(ev) = promotion_eviction {
+                self.stats.record_eviction(ev.value.dirty);
             }
-            if way < self.main_ways {
-                self.touch_main(set, way);
-            } else {
-                self.deli_hits += 1;
-                // A DeliWays hit is a successful next use after a MainWays
-                // eviction: feed it to the monitor so chosen PCs keep
-                // their Next-Use evidence instead of oscillating out.
-                self.monitor.on_next_use(line);
-                if !self.config.promote_on_deli_hit && self.config.deli_hit_refresh {
-                    // Second-chance FIFO: an actively reused line moves to
-                    // the FIFO tail instead of aging out on schedule.
-                    self.stamp += 1;
-                    let f = self.frame(set, way);
-                    self.deli_entry[f] = self.stamp;
-                }
-                if self.config.promote_on_deli_hit && self.main_ways > 0 {
-                    // Promote the hit line back into the MainWays: free
-                    // its DeliWays slot, then displace the MainWays LRU
-                    // victim through the normal retirement path (which
-                    // admission-checks it into the freed slot only if its
-                    // PC is chosen).
-                    let deli_meta = self.array.get(set, way).expect("hit way valid");
-                    self.array.invalidate(set, way);
-                    let mv = self.free_main_way(set).unwrap_or_else(|| self.main_victim(set));
-                    if let Some(victim) = self.array.invalidate(set, mv) {
-                        if let Some(leaving) = self.retire_from_main(set, victim) {
-                            self.stats.record_eviction(leaving.dirty);
-                        }
-                    }
-                    self.array.fill(set, mv, deli_meta);
-                    self.touch_main(set, mv);
-                }
+            AccessOutcome::Hit
+        } else {
+            self.stats.record_miss();
+            self.core_stats[core.index()].record_miss();
+            let leaving = self
+                .kernel
+                .put(line.0, pc, LineInfo { core, dirty: kind.is_write() })
+                .map(Self::to_evicted_line);
+            if let Some(ev) = &leaving {
+                self.stats.record_eviction(ev.dirty);
             }
-            if self.audit.is_some() {
-                self.audit_access_check();
-            }
-            return AccessOutcome::Hit;
-        }
-
-        self.stats.record_miss();
-        self.core_stats[core.index()].record_miss();
-        self.tracker.record_miss(pc);
-        self.monitor.on_next_use(line);
-
-        // Fill into the MainWays: invalid way first, else LRU victim whose
-        // line retires (possibly into the DeliWays).
-        let meta = LineMeta::new(tag, core, pc, kind.is_write());
-        let (way, leaving) = match self.free_main_way(set) {
-            Some(w) => (w, None),
-            None => {
-                let w = self.main_victim(set);
-                let victim = self.array.invalidate(set, w).expect("MainWays full, victim valid");
-                (w, self.retire_from_main(set, victim))
-            }
+            AccessOutcome::Miss { evicted: leaving }
         };
-        self.array.fill(set, way, meta);
-        self.touch_main(set, way);
-        if let Some(ev) = leaving {
-            self.stats.record_eviction(ev.dirty);
+        if self.kernel.audit_enabled() {
+            self.audit_core_attribution();
         }
-        if self.audit.is_some() {
-            self.audit_access_check();
-        }
-        AccessOutcome::Miss { evicted: leaving }
+        outcome
     }
 
     fn stats(&self) -> &CacheStats {
@@ -610,30 +249,51 @@ impl SharedLlc for NuCache {
     fn reset_stats(&mut self) {
         self.stats.clear();
         self.core_stats.iter_mut().for_each(CacheStats::clear);
-        self.deli_hits = 0;
-        self.deli_fills = 0;
-        if self.audit.is_some() {
-            self.audit_snapshot();
-        }
+        self.kernel.reset_stats();
     }
 
     fn geometry(&self) -> &CacheGeometry {
-        self.array.geometry()
+        &self.geom
     }
 
     fn scheme_name(&self) -> String {
-        format!("nucache-d{}", self.deli_ways)
+        format!("nucache-d{}", self.deli_ways())
     }
 
     fn set_telemetry(&mut self, enabled: bool) {
-        self.telemetry = enabled;
-        if !enabled {
-            self.pending_events.clear();
-        }
+        self.kernel.set_telemetry(enabled);
     }
 
     fn drain_events(&mut self) -> Vec<Event> {
-        std::mem::take(&mut self.pending_events)
+        self.kernel
+            .drain_epochs()
+            .into_iter()
+            .map(|s| Event::SelectionEpoch {
+                epoch: s.epoch,
+                window_accesses: s.window_accesses,
+                chosen: s.chosen,
+                expected_hits: s.expected_hits,
+                extra_lifetime: s.extra_lifetime,
+                deli_hits: s.deli_hits,
+                deli_fills: s.deli_fills,
+                deli_occupancy: s.deli_occupancy,
+                deli_capacity: s.deli_capacity,
+                top_pcs: s
+                    .top_classes
+                    .into_iter()
+                    .map(|c| PcSnapshot {
+                        pc: c.class,
+                        fills: c.fills,
+                        chosen: c.chosen,
+                        samples: c.samples,
+                        p25: c.p25,
+                        p50: c.p50,
+                        p75: c.p75,
+                        p90: c.p90,
+                    })
+                    .collect(),
+            })
+            .collect()
     }
 
     fn set_audit(&mut self, enabled: bool) {
@@ -645,9 +305,10 @@ impl SharedLlc for NuCache {
     }
 
     fn audit_stats(&self) -> Option<AuditStats> {
-        self.audit
-            .as_ref()
-            .map(|a| AuditStats { array_ops: self.array.audit_ops(), epoch_checks: a.epoch_checks })
+        self.kernel.audit_enabled().then(|| AuditStats {
+            array_ops: self.kernel.audit_ops(),
+            epoch_checks: self.kernel.epoch_checks(),
+        })
     }
 }
 
@@ -702,7 +363,7 @@ mod tests {
     #[test]
     fn chosen_pc_lines_enter_deliways_and_hit() {
         let mut llc = NuCache::new(geom(1, 4), 1, test_config(2));
-        llc.chosen.insert(Pc::new(1));
+        llc.kernel.force_chosen(&[Pc::new(1)]);
         // 2 MainWays + 2 DeliWays and a 4-line loop from the chosen PC:
         // evicted lines park in the DeliWays and are re-hit.
         let mut hits = 0;
@@ -721,11 +382,11 @@ mod tests {
     #[test]
     fn capacity_never_exceeded() {
         let mut llc = NuCache::new(geom(4, 4), 1, test_config(2));
-        llc.chosen.insert(Pc::new(1));
+        llc.kernel.force_chosen(&[Pc::new(1)]);
         for n in 0..10_000 {
             read(&mut llc, 1, n % 97);
         }
-        assert!(llc.array.total_occupancy() <= 16);
+        assert!(llc.kernel.len() <= 16);
     }
 
     #[test]
@@ -770,7 +431,7 @@ mod tests {
         let mut config = test_config(2);
         config.promote_on_deli_hit = true;
         let mut llc = NuCache::new(geom(1, 4), 1, config);
-        llc.chosen.insert(Pc::new(1));
+        llc.kernel.force_chosen(&[Pc::new(1)]);
         // Fill MainWays with lines 0,1; push 0 into DeliWays with 2.
         read(&mut llc, 1, 0);
         read(&mut llc, 1, 1);
@@ -795,7 +456,7 @@ mod tests {
             config.promote_on_deli_hit = false;
             config.deli_hit_refresh = refresh;
             let mut llc = NuCache::new(geom(1, 4), 1, config);
-            llc.chosen.insert(Pc::new(1));
+            llc.kernel.force_chosen(&[Pc::new(1)]);
             read(&mut llc, 1, 0);
             read(&mut llc, 1, 1);
             read(&mut llc, 1, 2); // evicts 0 -> FIFO
@@ -856,7 +517,7 @@ mod tests {
     #[test]
     fn deli_occupancy_counts_valid_deli_lines() {
         let mut llc = NuCache::new(geom(1, 4), 1, test_config(2));
-        llc.chosen.insert(Pc::new(1));
+        llc.kernel.force_chosen(&[Pc::new(1)]);
         assert_eq!(llc.deli_occupancy(), 0);
         read(&mut llc, 1, 0);
         read(&mut llc, 1, 1);
@@ -937,19 +598,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "audit: DeliWays hits")]
-    fn audit_catches_corrupted_counter() {
-        let mut llc = NuCache::new(geom(16, 4), 1, test_config(2));
+    #[should_panic(expected = "audit: per-core counters")]
+    fn audit_catches_misattributed_stats() {
+        let mut llc = NuCache::new(geom(16, 4), 2, test_config(2));
         llc.enable_audit();
         read(&mut llc, 1, 5);
-        llc.deli_hits = 10_000; // corrupt: more deli hits than total hits
+        llc.core_stats[1].hits = 10_000; // corrupt: attribution out of sync
         read(&mut llc, 1, 5);
     }
 
     #[test]
     fn dirty_bit_survives_deliways_transit() {
         let mut llc = NuCache::new(geom(1, 4), 1, test_config(2));
-        llc.chosen.insert(Pc::new(1));
+        llc.kernel.force_chosen(&[Pc::new(1)]);
         llc.access(CoreId::new(0), Pc::new(1), LineAddr::new(0), AccessKind::Write);
         read(&mut llc, 1, 1);
         read(&mut llc, 1, 2); // dirty 0 -> DeliWays

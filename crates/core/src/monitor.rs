@@ -1,290 +1,32 @@
-//! The Next-Use monitor.
+//! The Next-Use monitor — the kernel's generic implementation, keyed by
+//! PC.
 //!
-//! The Next-Use distance of a line is the number of accesses to its set
-//! between its eviction from the MainWays and the next request for it.
-//! This is exactly the quantity DeliWays retention can convert into a
-//! hit: a line whose Next-Use distance is within the extra lifetime the
-//! DeliWays provide would have hit had its PC been chosen.
-//!
-//! Measuring Next-Use for every line would be prohibitively expensive in
-//! hardware, so the monitor set-samples: in one set out of
-//! `2^sample_shift`, MainWays evictions are recorded into a small
-//! circular buffer of `(tag, pc, eviction-time)` entries; when a later
-//! miss in the same set matches a buffered tag, the elapsed set-access
-//! count is recorded into the evicting PC's log2 histogram.
+//! The sampled mechanism (per-set circular eviction buffers, access
+//! clocks, per-class log2 histograms) lives in
+//! [`nucache_kernel::monitor`]; the simulator instantiates the
+//! insertion-class parameter with [`Pc`] and addresses it with raw
+//! [`LineAddr`](nucache_common::LineAddr) values (`line.0`), whose
+//! set/tag split matches the kernel's key split exactly.
 
-use nucache_common::{LineAddr, Log2Histogram, Pc};
-use std::collections::BTreeMap;
+use nucache_common::Pc;
 
-/// One buffered eviction awaiting its next use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Pending {
-    tag: u64,
-    pc: Pc,
-    evicted_at: u64,
-}
-
-/// Per-sampled-set state: a circular eviction buffer and an access clock.
-#[derive(Debug, Clone)]
-struct SetMonitor {
-    buffer: Vec<Option<Pending>>,
-    next_slot: usize,
-    clock: u64,
-}
-
-impl SetMonitor {
-    fn new(depth: usize) -> Self {
-        SetMonitor { buffer: vec![None; depth], next_slot: 0, clock: 0 }
-    }
-}
-
-/// Sampled Next-Use monitoring across the cache.
-///
-/// # Examples
-///
-/// ```
-/// use nucache_core::NextUseMonitor;
-/// use nucache_common::{LineAddr, Pc};
-///
-/// // 16 sets (set_bits = 4), sample every set, 4-deep buffers.
-/// let mut m = NextUseMonitor::new(4, 0, 4, 16);
-/// let line = LineAddr::new(0x30);
-/// m.on_set_access(line);
-/// m.on_evict(line, Pc::new(0x400));
-/// m.on_set_access(line);
-/// m.on_set_access(line);
-/// assert_eq!(m.on_next_use(line), Some((Pc::new(0x400), 2)));
-/// ```
-#[derive(Debug)]
-pub struct NextUseMonitor {
-    set_bits: u32,
-    sample_shift: u32,
-    depth: usize,
-    buckets: usize,
-    sets: Vec<SetMonitor>,
-    /// Per-PC histograms in a `BTreeMap`: consumers iterate these when
-    /// building selection candidates, and PC-ordered traversal keeps the
-    /// whole selection pipeline independent of hasher state.
-    histograms: BTreeMap<Pc, Log2Histogram>,
-    /// Total accesses observed in sampled sets (rate denominators).
-    sampled_accesses: u64,
-    /// Evictions recorded / matched (monitor effectiveness stats).
-    recorded: u64,
-    matched: u64,
-}
-
-impl NextUseMonitor {
-    /// Creates a monitor over a cache with `2^set_bits` sets, sampling
-    /// one set in `2^sample_shift`, with per-set buffers of `depth`
-    /// entries and `buckets`-bucket histograms.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sampling leaves no sets, or `depth` is zero.
-    pub fn new(set_bits: u32, sample_shift: u32, depth: usize, buckets: usize) -> Self {
-        let num_sets = 1usize << set_bits;
-        let sampled = num_sets >> sample_shift;
-        assert!(sampled > 0, "sampling eliminates every set");
-        assert!(depth > 0, "zero buffer depth");
-        NextUseMonitor {
-            set_bits,
-            sample_shift,
-            depth,
-            buckets,
-            sets: (0..sampled).map(|_| SetMonitor::new(depth)).collect(),
-            histograms: BTreeMap::new(),
-            sampled_accesses: 0,
-            recorded: 0,
-            matched: 0,
-        }
-    }
-
-    fn sampled_index(&self, line: LineAddr) -> Option<usize> {
-        let set = line.set_index(self.set_bits);
-        if set & ((1usize << self.sample_shift) - 1) != 0 {
-            None
-        } else {
-            Some(set >> self.sample_shift)
-        }
-    }
-
-    /// Advances the sampled set's access clock (call on *every* access to
-    /// the cache; unsampled sets are ignored cheaply).
-    pub fn on_set_access(&mut self, line: LineAddr) {
-        if let Some(i) = self.sampled_index(line) {
-            self.sets[i].clock += 1;
-            self.sampled_accesses += 1;
-        }
-    }
-
-    /// Records a MainWays eviction of `line`, allocated by `pc`.
-    pub fn on_evict(&mut self, line: LineAddr, pc: Pc) {
-        let Some(i) = self.sampled_index(line) else { return };
-        let tag = line.tag(self.set_bits);
-        let sm = &mut self.sets[i];
-        let entry = Pending { tag, pc, evicted_at: sm.clock };
-        sm.buffer[sm.next_slot] = Some(entry);
-        sm.next_slot = (sm.next_slot + 1) % self.depth;
-        self.recorded += 1;
-    }
-
-    /// Reports that `line` was used again after a MainWays eviction — on
-    /// a cache miss, *or* on a DeliWays hit (a salvaged next use is still
-    /// a next use; without this, a chosen PC's evidence would disappear
-    /// the moment choosing it starts working, and selection would
-    /// oscillate). If the line's eviction is buffered, its Next-Use
-    /// distance is recorded and `(pc, distance)` returned.
-    pub fn on_next_use(&mut self, line: LineAddr) -> Option<(Pc, u64)> {
-        let i = self.sampled_index(line)?;
-        let tag = line.tag(self.set_bits);
-        let sm = &mut self.sets[i];
-        let slot = sm.buffer.iter().position(|e| matches!(e, Some(p) if p.tag == tag))?;
-        let pending = sm.buffer[slot].take().expect("slot just matched");
-        let distance = sm.clock - pending.evicted_at;
-        self.matched += 1;
-        let buckets = self.buckets;
-        self.histograms
-            .entry(pending.pc)
-            .or_insert_with(|| Log2Histogram::new(buckets))
-            .record(distance);
-        Some((pending.pc, distance))
-    }
-
-    /// The Next-Use histogram of `pc`, if any distance has been recorded.
-    pub fn histogram(&self, pc: Pc) -> Option<&Log2Histogram> {
-        self.histograms.get(&pc)
-    }
-
-    /// All per-PC histograms, in PC order.
-    pub fn histograms(&self) -> &BTreeMap<Pc, Log2Histogram> {
-        &self.histograms
-    }
-
-    /// Accesses observed in sampled sets.
-    pub const fn sampled_accesses(&self) -> u64 {
-        self.sampled_accesses
-    }
-
-    /// Evictions recorded into buffers.
-    pub const fn recorded(&self) -> u64 {
-        self.recorded
-    }
-
-    /// Buffered evictions later matched by a miss.
-    pub const fn matched(&self) -> u64 {
-        self.matched
-    }
-
-    /// Number of sets being sampled.
-    pub fn sampled_sets(&self) -> usize {
-        self.sets.len()
-    }
-
-    /// Epoch decay: halves histogram mass and the rate denominators, and
-    /// drops empty histograms.
-    pub fn decay(&mut self) {
-        self.histograms.retain(|_, h| {
-            h.decay();
-            h.total() > 0
-        });
-        self.sampled_accesses /= 2;
-        self.recorded /= 2;
-        self.matched /= 2;
-    }
-}
+/// Sampled Next-Use monitoring across the cache, per delinquent PC.
+pub type NextUseMonitor = nucache_kernel::NextUseMonitor<Pc>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn line_in_set(set: u64, tag: u64, set_bits: u32) -> LineAddr {
-        LineAddr::new((tag << set_bits) | set)
-    }
+    use nucache_common::LineAddr;
 
     #[test]
-    fn distance_counts_set_accesses_only() {
+    fn pc_instantiation_measures_distance() {
+        // 16 sets, sample every set, 4-deep buffers.
         let mut m = NextUseMonitor::new(4, 0, 4, 16);
-        let target = line_in_set(2, 7, 4);
-        let other_set = line_in_set(3, 1, 4);
-        m.on_set_access(target);
-        m.on_evict(target, Pc::new(0x10));
-        // Accesses to a different set must not advance this set's clock.
-        for _ in 0..10 {
-            m.on_set_access(other_set);
-        }
-        m.on_set_access(target);
-        m.on_set_access(target);
-        m.on_set_access(target);
-        assert_eq!(m.on_next_use(target), Some((Pc::new(0x10), 3)));
-    }
-
-    #[test]
-    fn unmatched_miss_returns_none() {
-        let mut m = NextUseMonitor::new(4, 0, 4, 16);
-        assert_eq!(m.on_next_use(line_in_set(0, 9, 4)), None);
-    }
-
-    #[test]
-    fn entry_consumed_after_match() {
-        let mut m = NextUseMonitor::new(4, 0, 4, 16);
-        let l = line_in_set(0, 9, 4);
-        m.on_evict(l, Pc::new(1));
-        assert!(m.on_next_use(l).is_some());
-        assert!(m.on_next_use(l).is_none(), "matched entries must be consumed");
-    }
-
-    #[test]
-    fn circular_buffer_overwrites_oldest() {
-        let mut m = NextUseMonitor::new(4, 0, 2, 16);
-        let l1 = line_in_set(0, 1, 4);
-        let l2 = line_in_set(0, 2, 4);
-        let l3 = line_in_set(0, 3, 4);
-        m.on_evict(l1, Pc::new(1));
-        m.on_evict(l2, Pc::new(2));
-        m.on_evict(l3, Pc::new(3)); // overwrites l1
-        assert!(m.on_next_use(l1).is_none());
-        assert!(m.on_next_use(l2).is_some());
-        assert!(m.on_next_use(l3).is_some());
-    }
-
-    #[test]
-    fn sampling_skips_unsampled_sets() {
-        let mut m = NextUseMonitor::new(4, 2, 4, 16); // sets 0,4,8,12 sampled
-        let sampled = line_in_set(4, 1, 4);
-        let unsampled = line_in_set(5, 1, 4);
-        m.on_set_access(sampled);
-        m.on_set_access(unsampled);
-        assert_eq!(m.sampled_accesses(), 1);
-        m.on_evict(unsampled, Pc::new(1));
-        assert_eq!(m.recorded(), 0);
-        assert_eq!(m.sampled_sets(), 4);
-    }
-
-    #[test]
-    fn histograms_accumulate_per_pc() {
-        let mut m = NextUseMonitor::new(4, 0, 8, 16);
-        let pc = Pc::new(0x40);
-        for tag in 0..5u64 {
-            let l = line_in_set(0, 10 + tag, 4);
-            m.on_evict(l, pc);
-            m.on_set_access(l);
-            m.on_set_access(l);
-            assert!(m.on_next_use(l).is_some());
-        }
-        let h = m.histogram(pc).expect("histogram exists");
-        assert_eq!(h.total(), 5);
-        assert_eq!(m.matched(), 5);
-    }
-
-    #[test]
-    fn decay_prunes_empty_histograms() {
-        let mut m = NextUseMonitor::new(4, 0, 4, 16);
-        let l = line_in_set(0, 1, 4);
-        m.on_evict(l, Pc::new(7));
-        m.on_set_access(l);
-        m.on_next_use(l);
-        assert_eq!(m.histogram(Pc::new(7)).unwrap().total(), 1);
-        m.decay();
-        assert!(m.histogram(Pc::new(7)).is_none(), "single-sample histogram decays away");
+        let line = LineAddr::new(0x30);
+        m.on_set_access(line.0);
+        m.on_evict(line.0, Pc::new(0x400));
+        m.on_set_access(line.0);
+        m.on_set_access(line.0);
+        assert_eq!(m.on_next_use(line.0), Some((Pc::new(0x400), 2)));
     }
 }

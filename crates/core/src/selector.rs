@@ -1,364 +1,44 @@
-//! Cost-benefit PC selection.
+//! Epoch PC selection — the kernel's generic cost-benefit machinery,
+//! keyed by PC.
 //!
-//! Given the epoch's delinquent-PC candidates, their measured fill
-//! (miss) counts, and their Next-Use histograms, choose the subset of PCs
-//! whose lines should be admitted into the DeliWays.
-//!
-//! The trade-off: with `D` DeliWays per set and a chosen set `S` whose
-//! members fill at a combined rate of `r(S)` fills per set-access, the
-//! FIFO grants each admitted line an extra lifetime of about `D / r(S)`
-//! set-accesses. A PC's benefit is its Next-Use histogram mass at or
-//! below that lifetime — evictions that would have been re-requested in
-//! time. Adding a PC adds its benefit but raises `r(S)`, shrinking the
-//! lifetime for everyone; the selection maximizes the *total* expected
-//! DeliWays hits.
+//! The strategies (greedy cost-benefit, exhaustive oracle, static top-k,
+//! random, none) live in [`nucache_kernel::selector`]; this module pins
+//! the insertion-class parameter to [`Pc`] and keeps the historical
+//! `select_pcs` name.
 
-use crate::config::SelectionStrategy;
-use nucache_common::{DetRng, Log2Histogram, Pc};
-use std::collections::BTreeMap;
+use nucache_common::Pc;
 
-/// One candidate PC presented to the selector.
-#[derive(Debug, Clone)]
-pub struct Candidate {
-    /// The PC.
-    pub pc: Pc,
-    /// Fills (misses) attributed to the PC this epoch.
-    pub fills: u64,
-    /// Next-Use histogram measured for the PC (distances in
-    /// set-accesses), if the monitor captured any.
-    pub histogram: Option<Log2Histogram>,
-}
+pub use nucache_kernel::selector::{build_candidates, evaluate_chosen};
 
-/// Outcome of a selection pass.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Selection {
-    /// The chosen PCs.
-    pub chosen: Vec<Pc>,
-    /// Expected DeliWays hits per epoch for the chosen set (the
-    /// objective value; 0 for the non-analytic strategies).
-    pub expected_hits: u64,
-    /// The extra lifetime (set-accesses) the chosen set enjoys.
-    pub extra_lifetime: u64,
-}
+/// Computes the chosen PC set for the next epoch (the kernel's
+/// [`select_classes`](nucache_kernel::selector::select_classes) under
+/// its simulator-era name).
+pub use nucache_kernel::selector::select_classes as select_pcs;
 
-/// Expected extra lifetime for a combined fill count, given the epoch's
-/// sampled set-accesses and the DeliWays depth.
-///
-/// `fills` and `accesses` must be measured over the same window (the
-/// monitor's sampled sets); the result is in set-accesses.
-fn extra_lifetime(deli_ways: usize, fills: u64, accesses: u64) -> u64 {
-    if fills == 0 {
-        return u64::MAX;
-    }
-    // lifetime = D / (fills per set-access) = D * accesses / fills
-    (deli_ways as u64).saturating_mul(accesses) / fills
-}
+/// One delinquent PC up for selection.
+pub type Candidate = nucache_kernel::Candidate<Pc>;
 
-/// Objective: expected DeliWays hits for subset `idx` of `candidates`.
-fn expected_hits(
-    candidates: &[Candidate],
-    idx: &[usize],
-    deli_ways: usize,
-    accesses: u64,
-) -> (u64, u64) {
-    let fills: u64 = idx.iter().map(|&i| candidates[i].fills).sum();
-    let life = extra_lifetime(deli_ways, fills, accesses);
-    let hits =
-        idx.iter().map(|&i| candidates[i].histogram.as_ref().map_or(0, |h| h.count_le(life))).sum();
-    (hits, life)
-}
-
-/// Recomputes the selection objective for an explicit chosen PC set.
-///
-/// The audit oracle uses this to cross-check a [`Selection`] produced by
-/// the analytic strategies: re-deriving `(expected_hits, extra_lifetime)`
-/// for `selection.chosen` from the same candidates must reproduce the
-/// values the strategy reported.
-///
-/// Returns `None` when a chosen PC is not among the candidates (itself an
-/// invariant violation the caller reports).
-pub fn evaluate_chosen(
-    candidates: &[Candidate],
-    chosen: &[Pc],
-    deli_ways: usize,
-    accesses: u64,
-) -> Option<(u64, u64)> {
-    let idx: Vec<usize> = chosen
-        .iter()
-        .map(|pc| candidates.iter().position(|c| c.pc == *pc))
-        .collect::<Option<_>>()?;
-    Some(expected_hits(candidates, &idx, deli_ways, accesses))
-}
-
-/// Runs the configured selection strategy.
-///
-/// `accesses` is the number of set-accesses observed by the monitor over
-/// the same window as the candidates' `fills` (both come from the sampled
-/// sets, so their ratio is the per-set fill rate).
-///
-/// # Examples
-///
-/// ```
-/// use nucache_core::selector::{select_pcs, Candidate};
-/// use nucache_core::SelectionStrategy;
-/// use nucache_common::{Log2Histogram, Pc};
-///
-/// let mut h = Log2Histogram::new(16);
-/// h.record_n(10, 100); // reused soon after eviction
-/// let cands = vec![Candidate { pc: Pc::new(1), fills: 50, histogram: Some(h) }];
-/// let sel = select_pcs(&cands, 8, 10_000, SelectionStrategy::CostBenefit, 0);
-/// assert_eq!(sel.chosen, vec![Pc::new(1)]);
-/// ```
-pub fn select_pcs(
-    candidates: &[Candidate],
-    deli_ways: usize,
-    accesses: u64,
-    strategy: SelectionStrategy,
-    seed: u64,
-) -> Selection {
-    match strategy {
-        SelectionStrategy::CostBenefit => greedy_cost_benefit(candidates, deli_ways, accesses),
-        SelectionStrategy::Exhaustive => exhaustive(candidates, deli_ways, accesses),
-        SelectionStrategy::StaticTopK(k) => {
-            let mut by_fills: Vec<usize> = (0..candidates.len()).collect();
-            by_fills.sort_by(|&a, &b| {
-                candidates[b]
-                    .fills
-                    .cmp(&candidates[a].fills)
-                    .then(candidates[a].pc.cmp(&candidates[b].pc))
-            });
-            let idx: Vec<usize> = by_fills.into_iter().take(k).collect();
-            let (hits, life) = expected_hits(candidates, &idx, deli_ways, accesses);
-            Selection {
-                chosen: idx.iter().map(|&i| candidates[i].pc).collect(),
-                expected_hits: hits,
-                extra_lifetime: life,
-            }
-        }
-        SelectionStrategy::Random(k) => {
-            let mut rng = DetRng::substream(seed, 0x5e1ec7);
-            let mut idx: Vec<usize> = (0..candidates.len()).collect();
-            rng.shuffle(&mut idx);
-            idx.truncate(k);
-            idx.sort_unstable();
-            let (hits, life) = expected_hits(candidates, &idx, deli_ways, accesses);
-            Selection {
-                chosen: idx.iter().map(|&i| candidates[i].pc).collect(),
-                expected_hits: hits,
-                extra_lifetime: life,
-            }
-        }
-        SelectionStrategy::None => {
-            Selection { chosen: Vec::new(), expected_hits: 0, extra_lifetime: 0 }
-        }
-    }
-}
-
-/// The paper's mechanism: grow the chosen set greedily, accepting the PC
-/// that maximizes total expected hits, until no addition improves it.
-fn greedy_cost_benefit(candidates: &[Candidate], deli_ways: usize, accesses: u64) -> Selection {
-    let mut chosen_idx: Vec<usize> = Vec::new();
-    let mut best_hits = 0u64;
-    let mut best_life = 0u64;
-    loop {
-        let mut best_add: Option<(u64, u64, usize)> = None;
-        for i in 0..candidates.len() {
-            if chosen_idx.contains(&i) {
-                continue;
-            }
-            let mut trial = chosen_idx.clone();
-            trial.push(i);
-            let (hits, life) = expected_hits(candidates, &trial, deli_ways, accesses);
-            let better = match best_add {
-                None => hits > best_hits,
-                Some((bh, _, bi)) => {
-                    hits > bh || (hits == bh && candidates[i].pc < candidates[bi].pc)
-                }
-            };
-            if better {
-                best_add = Some((hits, life, i));
-            }
-        }
-        match best_add {
-            Some((hits, life, i)) if hits > best_hits => {
-                chosen_idx.push(i);
-                best_hits = hits;
-                best_life = life;
-            }
-            _ => break,
-        }
-    }
-    chosen_idx.sort_unstable();
-    Selection {
-        chosen: chosen_idx.iter().map(|&i| candidates[i].pc).collect(),
-        expected_hits: best_hits,
-        extra_lifetime: best_life,
-    }
-}
-
-/// Exhaustive subset search (selection upper bound for the ablation).
-/// Exponential in the candidate count — callers cap the pool.
-fn exhaustive(candidates: &[Candidate], deli_ways: usize, accesses: u64) -> Selection {
-    let n = candidates.len().min(20);
-    let mut best: (u64, u64, u32) = (0, 0, 0); // (hits, life, mask)
-    for mask in 1u32..(1 << n) {
-        let idx: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
-        let (hits, life) = expected_hits(candidates, &idx, deli_ways, accesses);
-        if hits > best.0 {
-            best = (hits, life, mask);
-        }
-    }
-    let idx: Vec<usize> = (0..n).filter(|&i| best.2 & (1 << i) != 0).collect();
-    Selection {
-        chosen: idx.iter().map(|&i| candidates[i].pc).collect(),
-        expected_hits: best.0,
-        extra_lifetime: best.1,
-    }
-}
-
-/// Builds candidates from the tracker's top PCs and the monitor's
-/// histograms (the glue the LLC organization uses each epoch).
-pub fn build_candidates(
-    top: &[(Pc, u64)],
-    histograms: &BTreeMap<Pc, Log2Histogram>,
-) -> Vec<Candidate> {
-    top.iter()
-        .map(|&(pc, fills)| Candidate { pc, fills, histogram: histograms.get(&pc).cloned() })
-        .collect()
-}
+/// The outcome of a selection pass.
+pub type Selection = nucache_kernel::Selection<Pc>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn hist(dist: u64, n: u64) -> Option<Log2Histogram> {
-        let mut h = Log2Histogram::new(24);
-        h.record_n(dist, n);
-        Some(h)
-    }
-
-    fn cand(pc: u64, fills: u64, h: Option<Log2Histogram>) -> Candidate {
-        Candidate { pc: Pc::new(pc), fills, histogram: h }
-    }
+    use crate::config::SelectionStrategy;
+    use nucache_common::Log2Histogram;
 
     #[test]
-    fn selects_reusable_pc_rejects_stream() {
-        // PC 1: 1000 fills, reused 60 set-accesses after eviction.
-        // PC 2: a stream — 2000 fills, never reused (no histogram).
-        // D=8, 100k sampled accesses. Alone, PC1's lifetime =
-        // 8*100000/1000 = 800 >= 60 -> all 900 recorded reuses covered.
-        // Adding PC2 drops lifetime to 8*100000/3000 = 266 (still fine)
-        // but adds no hits — the greedy pass must not bother, and must
-        // never pick PC2 alone.
-        let c = vec![cand(1, 1000, hist(60, 900)), cand(2, 2000, None)];
-        let sel = select_pcs(&c, 8, 100_000, SelectionStrategy::CostBenefit, 0);
-        assert_eq!(sel.chosen, vec![Pc::new(1)]);
-        assert_eq!(sel.expected_hits, 900);
-    }
-
-    #[test]
-    fn cost_side_rejects_lifetime_killers() {
-        // PC 1: modest fills, reuse at 50. PC 2: huge fills, reuse at 5000.
-        // Together lifetime = 8*100000/10500 = 76: PC2 gains nothing and
-        // keeps PC1's hits — greedy takes both only if total improves.
-        // Alone PC2: lifetime = 8*100000/10000 = 80 < 5000 -> 0 hits.
-        let c = vec![cand(1, 500, hist(50, 400)), cand(2, 10_000, hist(5_000, 5_000))];
-        let sel = select_pcs(&c, 8, 100_000, SelectionStrategy::CostBenefit, 0);
-        assert_eq!(sel.chosen, vec![Pc::new(1)], "PC2 can never profit and must be excluded");
-    }
-
-    #[test]
-    fn greedy_matches_exhaustive_on_small_pools() {
-        let c = vec![
-            cand(1, 800, hist(100, 700)),
-            cand(2, 1200, hist(300, 900)),
-            cand(3, 5000, hist(20_000, 2_000)),
-            cand(4, 300, hist(40, 250)),
-        ];
-        let g = select_pcs(&c, 8, 200_000, SelectionStrategy::CostBenefit, 0);
-        let o = select_pcs(&c, 8, 200_000, SelectionStrategy::Exhaustive, 0);
-        assert!(g.expected_hits <= o.expected_hits);
-        // On this instance greedy should actually find the optimum.
-        assert_eq!(g.expected_hits, o.expected_hits);
-    }
-
-    #[test]
-    fn exhaustive_beats_greedy_on_adversarial_instance() {
-        // Construct a case where the single best first pick (by marginal
-        // hits) poisons the lifetime for a pair that together beat it.
-        // PC 9: big immediate benefit but huge fills.
-        // PCs 1,2: together excellent, but each alone is weaker than PC 9.
-        let c = vec![
-            cand(9, 60_000, hist(10, 3_000)),
-            cand(1, 1_000, hist(700, 2_000)),
-            cand(2, 1_000, hist(700, 2_000)),
-        ];
-        let g = select_pcs(&c, 8, 100_000, SelectionStrategy::CostBenefit, 0);
-        let o = select_pcs(&c, 8, 100_000, SelectionStrategy::Exhaustive, 0);
-        assert!(o.expected_hits >= g.expected_hits);
-    }
-
-    #[test]
-    fn static_and_random_strategies_have_expected_sizes() {
-        let c: Vec<Candidate> = (0..10).map(|i| cand(i, 100 + i, hist(50, 50))).collect();
-        let s = select_pcs(&c, 8, 10_000, SelectionStrategy::StaticTopK(3), 0);
-        assert_eq!(s.chosen.len(), 3);
-        assert_eq!(s.chosen[0], Pc::new(9), "top-k orders by fills");
-        let r = select_pcs(&c, 8, 10_000, SelectionStrategy::Random(4), 1);
-        assert_eq!(r.chosen.len(), 4);
-        let r2 = select_pcs(&c, 8, 10_000, SelectionStrategy::Random(4), 1);
-        assert_eq!(r.chosen, r2.chosen, "random selection is seed-deterministic");
-        let n = select_pcs(&c, 8, 10_000, SelectionStrategy::None, 0);
-        assert!(n.chosen.is_empty());
-    }
-
-    #[test]
-    fn empty_candidates_select_nothing() {
-        for strat in [
-            SelectionStrategy::CostBenefit,
-            SelectionStrategy::Exhaustive,
-            SelectionStrategy::StaticTopK(4),
-            SelectionStrategy::Random(4),
-        ] {
-            let sel = select_pcs(&[], 8, 1000, strat, 0);
-            assert!(sel.chosen.is_empty());
+    fn pc_instantiation_selects_reusable_pc() {
+        let mut near = Log2Histogram::new(16);
+        for _ in 0..100 {
+            near.record(8);
         }
-    }
-
-    #[test]
-    fn build_candidates_joins_tracker_and_monitor() {
-        let mut hists = BTreeMap::new();
-        let mut h = Log2Histogram::new(16);
-        h.record(9);
-        hists.insert(Pc::new(1), h);
-        let top = vec![(Pc::new(1), 10), (Pc::new(2), 5)];
-        let c = build_candidates(&top, &hists);
-        assert_eq!(c.len(), 2);
-        assert!(c[0].histogram.is_some());
-        assert!(c[1].histogram.is_none());
-    }
-
-    #[test]
-    fn evaluate_chosen_reproduces_selection_objective() {
-        let c = vec![
-            cand(1, 800, hist(100, 700)),
-            cand(2, 1200, hist(300, 900)),
-            cand(4, 300, hist(40, 250)),
+        let candidates = vec![
+            Candidate { class: Pc::new(1), fills: 500, histogram: Some(near) },
+            Candidate { class: Pc::new(2), fills: 500, histogram: None },
         ];
-        let sel = select_pcs(&c, 8, 200_000, SelectionStrategy::CostBenefit, 0);
-        assert!(!sel.chosen.is_empty());
-        assert_eq!(
-            evaluate_chosen(&c, &sel.chosen, 8, 200_000),
-            Some((sel.expected_hits, sel.extra_lifetime))
-        );
-        assert_eq!(evaluate_chosen(&c, &[Pc::new(99)], 8, 200_000), None, "unknown PC");
-    }
-
-    #[test]
-    fn zero_fills_means_infinite_lifetime() {
-        let c = vec![cand(1, 0, hist(1_000_000, 10))];
-        let sel = select_pcs(&c, 8, 1000, SelectionStrategy::CostBenefit, 0);
-        // Overflowed samples aside, any finite distance is covered.
+        let sel = select_pcs(&candidates, 4, 10_000, SelectionStrategy::CostBenefit, 1);
         assert_eq!(sel.chosen, vec![Pc::new(1)]);
+        assert!(sel.expected_hits > 0);
     }
 }

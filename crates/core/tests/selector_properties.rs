@@ -12,7 +12,7 @@ fn candidates_strategy(max: usize) -> impl Strategy<Value = Vec<Candidate>> {
             raw.into_iter()
                 .enumerate()
                 .map(|(i, (fills, dist, mass, with_hist))| Candidate {
-                    pc: Pc::new(i as u64 * 8 + 0x400),
+                    class: Pc::new(i as u64 * 8 + 0x400),
                     fills,
                     histogram: with_hist.then(|| {
                         let mut h = Log2Histogram::new(24);
@@ -39,7 +39,7 @@ proptest! {
             SelectionStrategy::None,
         ] {
             let sel = select_pcs(&cands, deli, acc, strat, 7);
-            let pool: std::collections::HashSet<Pc> = cands.iter().map(|c| c.pc).collect();
+            let pool: std::collections::HashSet<Pc> = cands.iter().map(|c| c.class).collect();
             let mut seen = std::collections::HashSet::new();
             for pc in &sel.chosen {
                 prop_assert!(pool.contains(pc), "{strat}: chose unknown PC");
@@ -89,7 +89,7 @@ proptest! {
         // lifetime: D * acc / fills << dist.
         let mut h = Log2Histogram::new(24);
         h.record_n(dist, 1_000);
-        let cands = vec![Candidate { pc: Pc::new(1), fills, histogram: Some(h) }];
+        let cands = vec![Candidate { class: Pc::new(1), fills, histogram: Some(h) }];
         let acc = fills; // lifetime = deli ways only
         let sel = select_pcs(&cands, 4, acc, SelectionStrategy::CostBenefit, 1);
         if dist > 8 {
@@ -119,7 +119,7 @@ proptest! {
     fn streams_never_improve_greedy(cands in candidates_strategy(8), stream_fills in 1u64..100_000) {
         let base = select_pcs(&cands, 8, 100_000, SelectionStrategy::CostBenefit, 1);
         let mut with_stream = cands.clone();
-        with_stream.push(Candidate { pc: Pc::new(0xdead), fills: stream_fills, histogram: None });
+        with_stream.push(Candidate { class: Pc::new(0xdead), fills: stream_fills, histogram: None });
         let plus = select_pcs(&with_stream, 8, 100_000, SelectionStrategy::CostBenefit, 1);
         prop_assert!(!plus.chosen.contains(&Pc::new(0xdead)), "chose a pure stream");
         prop_assert_eq!(plus.expected_hits, base.expected_hits);

@@ -1,0 +1,1201 @@
+//! The NUcache keyed-cache state machine: MainWays + DeliWays.
+
+use crate::config::{ConfigError, KernelConfig, SelectionStrategy};
+use crate::monitor::NextUseMonitor;
+use crate::selector::{build_candidates, evaluate_chosen, select_classes, Candidate, Selection};
+use crate::tracker::DelinquentTracker;
+use alloc::collections::{BTreeMap, BTreeSet};
+use alloc::vec;
+use alloc::vec::Vec;
+use core::fmt::Debug;
+use core::mem;
+
+/// Candidate classes included per [`EpochSummary`] snapshot; enough to
+/// cover every realistic chosen set (DeliWays ≤ 16) with headroom for
+/// the rejected tail the cost-benefit analysis argued about.
+const TELEMETRY_TOP_CLASSES: usize = 16;
+
+/// Mask with the low `n` bits set (`n` up to 64).
+#[inline]
+const fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Which region of a set an entry was found in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The LRU-managed MainWays, where every entry is inserted.
+    Main,
+    /// The FIFO-managed DeliWays, holding retained evictions of chosen
+    /// classes.
+    Deli,
+}
+
+/// An entry that left the cache: the FIFO drop of a retained entry, a
+/// MainWays eviction of an unchosen class, or an explicit
+/// [`remove`](NucacheKernel::remove).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<V, C> {
+    /// The key the entry was stored under.
+    pub key: u64,
+    /// The insertion class it was inserted with.
+    pub class: C,
+    /// The caller's value.
+    pub value: V,
+}
+
+/// Result of a [`get`](NucacheKernel::get).
+#[derive(Debug)]
+pub enum Lookup<'a, V, C> {
+    /// The key is resident.
+    Hit {
+        /// Mutable access to the stored value (e.g. to set a dirty flag).
+        value: &'a mut V,
+        /// Where the entry was found *before* any hit-promotion moved it.
+        region: Region,
+        /// With `promote_on_deli_hit`, promoting a DeliWays hit back into
+        /// the MainWays can displace another entry out of the cache; it
+        /// is reported here.
+        evicted: Option<Evicted<V, C>>,
+    },
+    /// The key is not resident. The kernel has recorded the miss (class
+    /// delinquency + Next-Use); the caller decides whether to
+    /// [`put`](NucacheKernel::put).
+    Miss,
+}
+
+impl<V, C> Lookup<'_, V, C> {
+    /// Whether the lookup hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Lookup::Hit { .. })
+    }
+}
+
+/// One resident entry's bookkeeping (tag + caller state).
+#[derive(Debug, Clone)]
+struct Stored<V, C> {
+    class: C,
+    value: V,
+}
+
+/// An entry pulled out of the array during replacement.
+#[derive(Debug)]
+struct Displaced<V, C> {
+    tag: u64,
+    class: C,
+    value: V,
+}
+
+/// Epoch-boundary telemetry snapshot, buffered while telemetry is
+/// enabled and drained with [`NucacheKernel::drain_epochs`]. Values are
+/// captured exactly as the selector saw them (before the epoch decays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSummary<C> {
+    /// Selection epochs completed, starting at 1.
+    pub epoch: u64,
+    /// Accesses in the decayed selection window.
+    pub window_accesses: u64,
+    /// The chosen classes, ascending.
+    pub chosen: Vec<C>,
+    /// The selection's objective value (expected DeliWays hits).
+    pub expected_hits: u64,
+    /// The extra lifetime (set-accesses) of the chosen set.
+    pub extra_lifetime: u64,
+    /// Cumulative DeliWays hits at the snapshot.
+    pub deli_hits: u64,
+    /// Cumulative DeliWays fills at the snapshot.
+    pub deli_fills: u64,
+    /// Valid DeliWays entries at the snapshot.
+    pub deli_occupancy: u64,
+    /// Total DeliWays slots.
+    pub deli_capacity: u64,
+    /// The top candidate classes by combined fills.
+    pub top_classes: Vec<ClassSnapshot<C>>,
+}
+
+/// One candidate class inside an [`EpochSummary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSnapshot<C> {
+    /// The insertion class.
+    pub class: C,
+    /// Combined fills (misses + DeliWays insertions) this window.
+    pub fills: u64,
+    /// Whether the selection admitted the class.
+    pub chosen: bool,
+    /// Next-Use samples recorded for the class.
+    pub samples: u64,
+    /// 25th percentile Next-Use distance, if sampled.
+    pub p25: Option<u64>,
+    /// Median Next-Use distance, if sampled.
+    pub p50: Option<u64>,
+    /// 75th percentile Next-Use distance, if sampled.
+    pub p75: Option<u64>,
+    /// 90th percentile Next-Use distance, if sampled.
+    pub p90: Option<u64>,
+}
+
+/// Counter snapshots for the audit oracle's monotonicity checks.
+///
+/// Each field records the value at the last check; counters must never
+/// decrease between checks within an epoch. The decay at each selection
+/// epoch (and an explicit stats reset) legitimately shrinks them, so
+/// both paths refresh the snapshot via `audit_snapshot`.
+#[derive(Debug, Clone, Default)]
+struct EpochAudit {
+    accesses: u64,
+    deli_hits: u64,
+    deli_fills: u64,
+    window_accesses: u64,
+    recorded: u64,
+    matched: u64,
+    /// Monitor counters at the start of the current decay window, for
+    /// the bounded matched-vs-recorded check.
+    window_recorded: u64,
+    window_matched: u64,
+    epoch_checks: u64,
+}
+
+/// Naive reference model of residency, mirrored on every array
+/// operation while auditing is enabled. Divergence panics at the
+/// faulting operation.
+#[derive(Debug, Clone, Default)]
+struct Mirror {
+    /// Resident tags per set.
+    resident: Vec<BTreeSet<u64>>,
+    /// Mirrored-and-compared operations.
+    ops: u64,
+}
+
+/// An embeddable NUcache: a set-associative keyed cache whose ways are
+/// split into MainWays (LRU, every entry) and DeliWays (FIFO, only
+/// entries of the currently chosen insertion classes, entered on
+/// MainWays eviction). A sampled Next-Use monitor and a per-class miss
+/// tracker feed the epoch-based cost-benefit class selection.
+///
+/// `V` is the caller's value type, stored inline; `C` is the insertion
+/// class (defaults to [`InsertionClass`](crate::InsertionClass); the
+/// simulator instantiates a program-counter newtype).
+///
+/// Keys are plain `u64`s; the low `log2(sets)` bits index the set and
+/// the rest are the tag, so keys must be unique (hand the kernel a line
+/// address, an object id, a hash of a URL — anything stable).
+///
+/// # Allocation behaviour
+///
+/// A `get` that hits in the MainWays allocates nothing: it updates an
+/// LRU stamp and (on 1-in-`2^monitor_shift` sampled sets) bumps a
+/// preallocated clock. The exceptions are bounded and amortized: a
+/// DeliWays hit in a sampled set may record a Next-Use distance into a
+/// lazily created per-class histogram, and every `epoch_len`-th access
+/// runs the selection pass, which allocates candidate scratch.
+///
+/// # Examples
+///
+/// ```
+/// use nucache_kernel::{InsertionClass, KernelConfig, Lookup, NucacheKernel};
+///
+/// let config = KernelConfig::default().with_sets(64).with_ways(8).with_deli_ways(4);
+/// let mut cache: NucacheKernel<&'static str> = NucacheKernel::init(config)?;
+/// let tenant = InsertionClass::new(1);
+/// assert!(!cache.get(0x42, tenant).is_hit());
+/// cache.put(0x42, tenant, "session-blob");
+/// assert!(cache.get(0x42, tenant).is_hit());
+/// cache.remove(0x42);
+/// assert!(!cache.get(0x42, tenant).is_hit());
+/// # Ok::<(), nucache_kernel::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct NucacheKernel<V, C = crate::InsertionClass> {
+    config: KernelConfig,
+    set_bits: u32,
+    main_ways: usize,
+    deli_ways: usize,
+    /// Tag per frame (`set * ways + way`); garbage where invalid.
+    tags: Vec<u64>,
+    /// Valid bitmask per set (bit `w` = way `w` holds an entry).
+    valid: Vec<u64>,
+    /// Class + caller value per frame; `Some` iff the valid bit is set.
+    entries: Vec<Option<Stored<V, C>>>,
+    /// LRU stamps for ways `[0, main_ways)` of each set.
+    main_touch: Vec<u64>,
+    /// FIFO entry stamps for ways `[main_ways, ways)` of each set.
+    deli_entry: Vec<u64>,
+    stamp: u64,
+    monitor: NextUseMonitor<C>,
+    tracker: DelinquentTracker<C>,
+    /// DeliWays insertions per class this window: a retained class stops
+    /// missing, so its continued delinquency (and its true FIFO
+    /// pressure) shows up here rather than in the miss tracker.
+    deli_fills_by_class: BTreeMap<C, u64>,
+    chosen: BTreeSet<C>,
+    last_selection: Selection<C>,
+    /// Accesses in the current decay window — the denominator the
+    /// fill-rate (lifetime) estimate pairs with the fill counts.
+    window_accesses: u64,
+    accesses_in_epoch: u64,
+    epochs: u64,
+    hits: u64,
+    misses: u64,
+    deli_hits: u64,
+    deli_fills: u64,
+    telemetry: bool,
+    pending_epochs: Vec<EpochSummary<C>>,
+    audit: Option<EpochAudit>,
+    mirror: Option<Mirror>,
+}
+
+impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
+    /// Builds a kernel from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration violates.
+    pub fn init(config: KernelConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let set_bits = config.sets.trailing_zeros();
+        let frames = config.sets * config.ways;
+        let mut entries = Vec::with_capacity(frames);
+        entries.resize_with(frames, || None);
+        Ok(NucacheKernel {
+            set_bits,
+            main_ways: config.ways - config.deli_ways,
+            deli_ways: config.deli_ways,
+            tags: vec![0; frames],
+            valid: vec![0; config.sets],
+            entries,
+            main_touch: vec![0; frames],
+            deli_entry: vec![0; frames],
+            stamp: 0,
+            monitor: NextUseMonitor::new(
+                set_bits,
+                config.monitor_shift.min(set_bits),
+                config.monitor_depth,
+                config.histogram_buckets,
+            ),
+            tracker: DelinquentTracker::new(256.max(config.max_candidates)),
+            deli_fills_by_class: BTreeMap::new(),
+            chosen: BTreeSet::new(),
+            last_selection: Selection { chosen: Vec::new(), expected_hits: 0, extra_lifetime: 0 },
+            window_accesses: 0,
+            accesses_in_epoch: 0,
+            epochs: 0,
+            hits: 0,
+            misses: 0,
+            deli_hits: 0,
+            deli_fills: 0,
+            telemetry: false,
+            pending_epochs: Vec::new(),
+            audit: None,
+            mirror: None,
+            config,
+        })
+    }
+
+    // ---- geometry helpers -------------------------------------------------
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        (key & low_mask(self.set_bits as usize)) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, key: u64) -> u64 {
+        key >> self.set_bits
+    }
+
+    #[inline]
+    fn key_of(&self, set: usize, tag: u64) -> u64 {
+        (tag << self.set_bits) | set as u64
+    }
+
+    #[inline]
+    fn frame(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways + way
+    }
+
+    /// Resident way holding `tag` in `set`, if any.
+    #[inline]
+    fn find(&mut self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.config.ways;
+        let mut m = self.valid[set];
+        let mut found = None;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                found = Some(w);
+                break;
+            }
+            m &= m - 1;
+        }
+        if let Some(mir) = &mut self.mirror {
+            mir.ops += 1;
+            assert_eq!(
+                mir.resident[set].contains(&tag),
+                found.is_some(),
+                "audit: find({set}, {tag:#x}) diverged from the reference model"
+            );
+        }
+        found
+    }
+
+    /// Installs an entry into a frame, returning whatever it displaced.
+    fn fill_frame(
+        &mut self,
+        set: usize,
+        way: usize,
+        tag: u64,
+        class: C,
+        value: V,
+    ) -> Option<Displaced<V, C>> {
+        let f = self.frame(set, way);
+        let old_tag = self.tags[f];
+        let displaced = self.entries[f].take().map(|s| Displaced {
+            tag: old_tag,
+            class: s.class,
+            value: s.value,
+        });
+        let had = self.valid[set] & (1u64 << way) != 0;
+        debug_assert_eq!(had, displaced.is_some(), "valid bit and entry storage agree");
+        self.tags[f] = tag;
+        self.entries[f] = Some(Stored { class, value });
+        self.valid[set] |= 1u64 << way;
+        if let Some(mir) = &mut self.mirror {
+            mir.ops += 1;
+            if let Some(d) = &displaced {
+                assert!(
+                    mir.resident[set].remove(&d.tag),
+                    "audit: displaced tag {:#x} missing from the reference model",
+                    d.tag
+                );
+            }
+            assert!(
+                mir.resident[set].insert(tag),
+                "audit: fill of already-resident tag {tag:#x} in set {set}"
+            );
+        }
+        displaced
+    }
+
+    /// Clears a frame, returning its entry if it was valid.
+    fn invalidate(&mut self, set: usize, way: usize) -> Option<Displaced<V, C>> {
+        let f = self.frame(set, way);
+        if self.valid[set] & (1u64 << way) == 0 {
+            return None;
+        }
+        self.valid[set] &= !(1u64 << way);
+        let tag = self.tags[f];
+        let stored = self.entries[f].take().expect("valid frame holds an entry");
+        if let Some(mir) = &mut self.mirror {
+            mir.ops += 1;
+            assert!(
+                mir.resident[set].remove(&tag),
+                "audit: invalidated tag {tag:#x} missing from the reference model"
+            );
+        }
+        Some(Displaced { tag, class: stored.class, value: stored.value })
+    }
+
+    /// First invalid way among the MainWays of `set`.
+    #[inline]
+    fn free_main_way(&self, set: usize) -> Option<usize> {
+        let free = !self.valid[set] & low_mask(self.main_ways);
+        (free != 0).then(|| free.trailing_zeros() as usize)
+    }
+
+    fn touch_main(&mut self, set: usize, way: usize) {
+        self.stamp += 1;
+        let f = self.frame(set, way);
+        self.main_touch[f] = self.stamp;
+    }
+
+    /// LRU victim among the MainWays of `set` (which are full).
+    fn main_victim(&self, set: usize) -> usize {
+        (0..self.main_ways)
+            .min_by_key(|&w| self.main_touch[self.frame(set, w)])
+            .expect("at least one MainWay")
+    }
+
+    /// FIFO victim among the DeliWays of `set`, or the first invalid one.
+    fn deli_slot(&self, set: usize) -> usize {
+        debug_assert!(self.deli_ways > 0, "deli_slot needs DeliWays");
+        let free = (!self.valid[set] >> self.main_ways) & low_mask(self.deli_ways);
+        if free != 0 {
+            return self.main_ways + free.trailing_zeros() as usize;
+        }
+        (self.main_ways..self.main_ways + self.deli_ways)
+            .min_by_key(|&w| self.deli_entry[self.frame(set, w)])
+            .expect("deli_ways > 0 when called")
+    }
+
+    /// Handles an entry leaving the MainWays: moves it into the DeliWays
+    /// if its class is chosen (returning the entry the FIFO dropped, if
+    /// any) or lets it leave the cache. Either way the monitor sees the
+    /// eviction — Next-Use is defined from MainWays eviction for every
+    /// entry, so the selector can discover classes that are not
+    /// currently chosen.
+    fn retire_from_main(&mut self, set: usize, victim: Displaced<V, C>) -> Option<Evicted<V, C>> {
+        let key = self.key_of(set, victim.tag);
+        self.monitor.on_evict(key, victim.class);
+        if self.deli_ways == 0 || !self.chosen.contains(&victim.class) {
+            return Some(Evicted { key, class: victim.class, value: victim.value });
+        }
+        let slot = self.deli_slot(set);
+        let dropped = self.fill_frame(set, slot, victim.tag, victim.class, victim.value);
+        self.stamp += 1;
+        let f = self.frame(set, slot);
+        self.deli_entry[f] = self.stamp;
+        self.deli_fills += 1;
+        *self.deli_fills_by_class.entry(victim.class).or_insert(0) += 1;
+        // An entry aging out of the DeliWays FIFO leaves the cache for
+        // good; its Next-Use from this (second) eviction is not what the
+        // selector models, so it is not re-recorded.
+        dropped.map(|d| Evicted { key: self.key_of(set, d.tag), class: d.class, value: d.value })
+    }
+
+    // ---- the keyed API ----------------------------------------------------
+
+    /// Looks up `key`, advancing the access clock, the epoch counter and
+    /// the replacement state exactly as a demand access would.
+    ///
+    /// On a hit the stored value is returned mutably (update it in
+    /// place — e.g. a dirty flag or payload refresh). On a miss the
+    /// kernel records the delinquency of `class` and any Next-Use match,
+    /// then leaves the decision to insert to the caller
+    /// ([`put`](NucacheKernel::put)).
+    pub fn get(&mut self, key: u64, class: C) -> Lookup<'_, V, C> {
+        let set = self.set_of(key);
+        let tag = self.tag_of(key);
+        self.monitor.on_set_access(key);
+        self.window_accesses += 1;
+        self.epoch_tick();
+
+        let Some(way) = self.find(set, tag) else {
+            self.misses += 1;
+            self.tracker.record_miss(class);
+            self.monitor.on_next_use(key);
+            return Lookup::Miss;
+        };
+
+        self.hits += 1;
+        let mut region = Region::Main;
+        let mut final_way = way;
+        let mut evicted = None;
+        if way < self.main_ways {
+            self.touch_main(set, way);
+        } else {
+            region = Region::Deli;
+            self.deli_hits += 1;
+            // A DeliWays hit is a successful next use after a MainWays
+            // eviction: feed it to the monitor so chosen classes keep
+            // their Next-Use evidence instead of oscillating out.
+            self.monitor.on_next_use(key);
+            if !self.config.promote_on_deli_hit && self.config.deli_hit_refresh {
+                // Second-chance FIFO: an actively reused entry moves to
+                // the FIFO tail instead of aging out on schedule.
+                self.stamp += 1;
+                let f = self.frame(set, way);
+                self.deli_entry[f] = self.stamp;
+            }
+            if self.config.promote_on_deli_hit && self.main_ways > 0 {
+                // Promote the hit entry back into the MainWays: free its
+                // DeliWays slot, then displace the MainWays LRU victim
+                // through the normal retirement path (which
+                // admission-checks it into the freed slot only if its
+                // class is chosen).
+                let promoted = self.invalidate(set, way).expect("hit way valid");
+                let mv = self.free_main_way(set).unwrap_or_else(|| self.main_victim(set));
+                if let Some(victim) = self.invalidate(set, mv) {
+                    evicted = self.retire_from_main(set, victim);
+                }
+                self.fill_frame(set, mv, promoted.tag, promoted.class, promoted.value);
+                self.touch_main(set, mv);
+                final_way = mv;
+            }
+        }
+        if self.audit.is_some() {
+            self.audit_access_check();
+        }
+        let f = self.frame(set, final_way);
+        let value = &mut self.entries[f].as_mut().expect("hit entry resident").value;
+        Lookup::Hit { value, region, evicted }
+    }
+
+    /// Inserts `key` with `class` and `value`, filling into the MainWays
+    /// (an invalid way first, else the LRU victim, whose entry retires —
+    /// possibly into the DeliWays). Returns the entry that left the
+    /// cache, if any.
+    ///
+    /// If `key` is already resident its class and value are replaced in
+    /// place without touching replacement state.
+    pub fn put(&mut self, key: u64, class: C, value: V) -> Option<Evicted<V, C>> {
+        let set = self.set_of(key);
+        let tag = self.tag_of(key);
+        if let Some(way) = self.find(set, tag) {
+            let f = self.frame(set, way);
+            let stored = self.entries[f].as_mut().expect("resident entry");
+            stored.class = class;
+            stored.value = value;
+            return None;
+        }
+        let (way, leaving) = match self.free_main_way(set) {
+            Some(w) => (w, None),
+            None => {
+                let w = self.main_victim(set);
+                let victim = self.invalidate(set, w).expect("MainWays full, victim valid");
+                (w, self.retire_from_main(set, victim))
+            }
+        };
+        self.fill_frame(set, way, tag, class, value);
+        self.touch_main(set, way);
+        if self.audit.is_some() {
+            self.audit_access_check();
+        }
+        leaving
+    }
+
+    /// Removes `key` if resident, without recording an eviction in the
+    /// monitor (an explicit removal is not a capacity eviction, so it
+    /// must not contribute Next-Use evidence).
+    pub fn remove(&mut self, key: u64) -> Option<Evicted<V, C>> {
+        let set = self.set_of(key);
+        let tag = self.tag_of(key);
+        let way = self.find(set, tag)?;
+        self.invalidate(set, way).map(|d| Evicted {
+            key: self.key_of(set, d.tag),
+            class: d.class,
+            value: d.value,
+        })
+    }
+
+    /// Whether `key` is resident, without perturbing any replacement,
+    /// monitor or epoch state.
+    pub fn contains(&self, key: u64) -> bool {
+        self.peek(key).is_some()
+    }
+
+    /// The stored value of `key`, without perturbing any state.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        let set = self.set_of(key);
+        let tag = self.tag_of(key);
+        let base = set * self.config.ways;
+        let mut m = self.valid[set];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return self.entries[base + w].as_ref().map(|s| &s.value);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
+    // ---- epoch machinery --------------------------------------------------
+
+    fn epoch_tick(&mut self) {
+        self.accesses_in_epoch += 1;
+        if self.accesses_in_epoch >= self.config.epoch_len {
+            self.accesses_in_epoch = 0;
+            self.run_selection();
+        }
+    }
+
+    fn run_selection(&mut self) {
+        self.epochs += 1;
+        let pool = match self.config.strategy {
+            SelectionStrategy::Exhaustive => self.config.oracle_pool,
+            _ => self.config.max_candidates,
+        };
+        // Candidate fills combine demand misses with DeliWays insertions:
+        // for an unretained class the former dominates; for a retained
+        // class the latter is both its continued-delinquency evidence and
+        // its actual FIFO pressure. Without the combination, successfully
+        // retained classes stop missing, vanish from the candidate list
+        // and selection oscillates.
+        let mut combined: BTreeMap<C, u64> = self.deli_fills_by_class.clone();
+        for (class, misses) in self.tracker.top_k(self.tracker.len()) {
+            *combined.entry(class).or_insert(0) += misses;
+        }
+        let mut top: Vec<(C, u64)> = combined.into_iter().collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(pool);
+        let candidates = build_candidates(&top, self.monitor.histograms());
+        // Fill counts and the access denominator are both global over the
+        // same decayed window, so their ratio is the per-set fill rate;
+        // the monitor's per-set-clock histograms use the same currency.
+        let accesses_global = self.window_accesses;
+        self.last_selection = select_classes(
+            &candidates,
+            self.deli_ways,
+            accesses_global.max(1),
+            self.config.strategy,
+            self.config.seed ^ self.epochs,
+        );
+        self.chosen = self.last_selection.chosen.iter().copied().collect();
+        if self.telemetry {
+            let summary = self.epoch_summary(&top);
+            self.pending_epochs.push(summary);
+        }
+        if self.audit.is_some() {
+            self.audit_epoch_check(&candidates);
+        }
+        self.tracker.decay();
+        self.monitor.decay();
+        self.deli_fills_by_class.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+        self.window_accesses /= 2;
+        if self.audit.is_some() {
+            self.audit_snapshot();
+        }
+    }
+
+    /// Builds the telemetry snapshot of the selection that just ran.
+    /// Called before the epoch decays, so fills, window accesses and
+    /// histogram summaries are exactly what the selector saw.
+    fn epoch_summary(&self, top: &[(C, u64)]) -> EpochSummary<C> {
+        let quant = |class: C, p: f64| self.monitor.histogram(class).and_then(|h| h.quantile(p));
+        let top_classes: Vec<ClassSnapshot<C>> = top
+            .iter()
+            .take(TELEMETRY_TOP_CLASSES)
+            .map(|&(class, fills)| ClassSnapshot {
+                class,
+                fills,
+                chosen: self.chosen.contains(&class),
+                samples: self.monitor.histogram(class).map_or(0, |h| h.total()),
+                p25: quant(class, 0.25),
+                p50: quant(class, 0.5),
+                p75: quant(class, 0.75),
+                p90: quant(class, 0.9),
+            })
+            .collect();
+        EpochSummary {
+            epoch: self.epochs,
+            window_accesses: self.window_accesses,
+            chosen: self.chosen_classes(),
+            expected_hits: self.last_selection.expected_hits,
+            extra_lifetime: self.last_selection.extra_lifetime,
+            deli_hits: self.deli_hits,
+            deli_fills: self.deli_fills,
+            deli_occupancy: self.deli_occupancy(),
+            deli_capacity: self.deli_capacity(),
+            top_classes,
+        }
+    }
+
+    // ---- audit oracle -----------------------------------------------------
+
+    /// Enables the differential audit oracle: every array operation is
+    /// mirrored into a naive reference model of residency, and each
+    /// selection epoch verifies the kernel's invariants (DeliWays
+    /// occupancy within capacity, monotone counters, selection objective
+    /// reproducible from the candidates). Violations panic at the
+    /// faulting operation.
+    pub fn enable_audit(&mut self) {
+        let mut mirror = Mirror { resident: vec![BTreeSet::new(); self.config.sets], ops: 0 };
+        for set in 0..self.config.sets {
+            let base = set * self.config.ways;
+            let mut m = self.valid[set];
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                mirror.resident[set].insert(self.tags[base + w]);
+                m &= m - 1;
+            }
+        }
+        self.mirror = Some(mirror);
+        self.audit = Some(EpochAudit::default());
+        self.audit_snapshot();
+    }
+
+    /// Disables the audit oracle and drops its mirror state.
+    pub fn disable_audit(&mut self) {
+        self.audit = None;
+        self.mirror = None;
+    }
+
+    /// Whether the audit oracle is currently enabled.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Array operations mirrored into the reference model so far.
+    pub fn audit_ops(&self) -> u64 {
+        self.mirror.as_ref().map_or(0, |m| m.ops)
+    }
+
+    /// Epoch-level invariant checks performed so far.
+    pub fn epoch_checks(&self) -> u64 {
+        self.audit.as_ref().map_or(0, |a| a.epoch_checks)
+    }
+
+    /// Refreshes the oracle's counter snapshots to the current values
+    /// (after the epoch decay or a stats reset, which legitimately move
+    /// counters backwards).
+    fn audit_snapshot(&mut self) {
+        let accesses = self.hits + self.misses;
+        let (dh, df, wa) = (self.deli_hits, self.deli_fills, self.window_accesses);
+        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
+        if let Some(a) = &mut self.audit {
+            a.accesses = accesses;
+            a.deli_hits = dh;
+            a.deli_fills = df;
+            a.window_accesses = wa;
+            a.recorded = rec;
+            a.matched = mat;
+            a.window_recorded = rec;
+            a.window_matched = mat;
+        }
+    }
+
+    /// Per-access oracle checks: counters monotone since the last check
+    /// and DeliWays hits within total hits.
+    #[cold]
+    #[inline(never)]
+    fn audit_access_check(&mut self) {
+        let (hits, misses) = (self.hits, self.misses);
+        let (dh, df, wa) = (self.deli_hits, self.deli_fills, self.window_accesses);
+        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
+        let Some(a) = &mut self.audit else { return };
+        assert!(dh <= hits, "audit: DeliWays hits ({dh}) exceed total hits ({hits})");
+        assert!(
+            hits + misses >= a.accesses,
+            "audit: access counter moved backwards within an epoch"
+        );
+        assert!(
+            dh >= a.deli_hits && df >= a.deli_fills,
+            "audit: DeliWays counters moved backwards within an epoch"
+        );
+        assert!(
+            wa >= a.window_accesses,
+            "audit: window access counter moved backwards within an epoch"
+        );
+        assert!(
+            rec >= a.recorded && mat >= a.matched,
+            "audit: monitor counters moved backwards within an epoch"
+        );
+        a.accesses = hits + misses;
+        a.deli_hits = dh;
+        a.deli_fills = df;
+        a.window_accesses = wa;
+        a.recorded = rec;
+        a.matched = mat;
+    }
+
+    /// Epoch-boundary oracle checks, run after selection but before the
+    /// decay so occupancy and monitor state are what the selector saw.
+    fn audit_epoch_check(&mut self, candidates: &[Candidate<C>]) {
+        let capacity = self.deli_capacity();
+        let occ = self.deli_occupancy();
+        assert!(occ <= capacity, "audit: DeliWays occupancy {occ} exceeds capacity {capacity}");
+        let from_selection: BTreeSet<C> = self.last_selection.chosen.iter().copied().collect();
+        assert!(
+            self.chosen == from_selection,
+            "audit: admitted class set {:?} disagrees with the selection {:?}",
+            self.chosen,
+            self.last_selection.chosen
+        );
+        // The analytic strategies report an objective value; re-deriving
+        // it for the chosen set from the same candidates must reproduce
+        // it.
+        let analytic = matches!(
+            self.config.strategy,
+            SelectionStrategy::CostBenefit | SelectionStrategy::Exhaustive
+        );
+        if analytic && !self.last_selection.chosen.is_empty() {
+            let recomputed = evaluate_chosen(
+                candidates,
+                &self.last_selection.chosen,
+                self.deli_ways,
+                self.window_accesses.max(1),
+            );
+            assert_eq!(
+                recomputed,
+                Some((self.last_selection.expected_hits, self.last_selection.extra_lifetime)),
+                "audit: selection objective not reproducible from the candidates"
+            );
+        }
+        // Every monitor match consumes a buffered eviction recorded
+        // either in this decay window or already buffered when it
+        // started.
+        let buffer_cap = (self.config.monitor_depth * self.monitor.sampled_sets()) as u64;
+        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
+        let a = self.audit.as_mut().expect("epoch check runs only while auditing");
+        let window_matched = mat.saturating_sub(a.window_matched);
+        let window_recorded = rec.saturating_sub(a.window_recorded);
+        assert!(
+            window_matched <= window_recorded + buffer_cap,
+            "audit: {window_matched} monitor matches cannot come from {window_recorded} \
+             recorded evictions plus a buffer of {buffer_cap}"
+        );
+        a.epoch_checks += 1;
+    }
+
+    // ---- introspection ----------------------------------------------------
+
+    /// The active configuration.
+    pub const fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Number of MainWays per set.
+    pub const fn main_ways(&self) -> usize {
+        self.main_ways
+    }
+
+    /// Number of DeliWays per set.
+    pub const fn deli_ways(&self) -> usize {
+        self.deli_ways
+    }
+
+    /// Total entry slots (`sets * ways`).
+    pub fn capacity(&self) -> usize {
+        self.config.sets * self.config.ways
+    }
+
+    /// Resident entries across all sets.
+    pub fn len(&self) -> usize {
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.valid.iter().all(|&v| v == 0)
+    }
+
+    /// Lookups that found their key since construction (or the last
+    /// [`reset_stats`](NucacheKernel::reset_stats)).
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits satisfied from the DeliWays.
+    pub const fn deli_hits(&self) -> u64 {
+        self.deli_hits
+    }
+
+    /// Entries moved from MainWays into DeliWays.
+    pub const fn deli_fills(&self) -> u64 {
+        self.deli_fills
+    }
+
+    /// Completed selection epochs.
+    pub const fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Classes currently admitted to the DeliWays, ascending.
+    pub fn chosen_classes(&self) -> Vec<C> {
+        let mut v: Vec<C> = self.chosen.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The outcome of the most recent selection pass.
+    pub const fn last_selection(&self) -> &Selection<C> {
+        &self.last_selection
+    }
+
+    /// Read access to the per-class miss tracker.
+    pub const fn tracker(&self) -> &DelinquentTracker<C> {
+        &self.tracker
+    }
+
+    /// Read access to the Next-Use monitor.
+    pub const fn monitor(&self) -> &NextUseMonitor<C> {
+        &self.monitor
+    }
+
+    /// Current combined fill counts (demand misses + DeliWays
+    /// insertions) per class, descending — the quantity candidate
+    /// ranking and the lifetime cost model use. Exposed for diagnostics
+    /// and tests.
+    pub fn combined_fills(&self) -> Vec<(C, u64)> {
+        let mut combined: BTreeMap<C, u64> = self.deli_fills_by_class.clone();
+        for (class, misses) in self.tracker.top_k(self.tracker.len()) {
+            *combined.entry(class).or_insert(0) += misses;
+        }
+        let mut v: Vec<(C, u64)> = combined.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Access denominator the selector pairs with
+    /// [`combined_fills`](NucacheKernel::combined_fills) (accesses in
+    /// the decay window).
+    pub const fn selection_accesses(&self) -> u64 {
+        self.window_accesses
+    }
+
+    /// Valid entries currently resident in the DeliWays across all sets.
+    pub fn deli_occupancy(&self) -> u64 {
+        self.valid
+            .iter()
+            .map(|&v| ((v >> self.main_ways) & low_mask(self.deli_ways)).count_ones() as u64)
+            .sum()
+    }
+
+    /// Total DeliWays slots across all sets.
+    pub fn deli_capacity(&self) -> u64 {
+        (self.deli_ways * self.config.sets) as u64
+    }
+
+    /// Clears the hit/miss and DeliWays counters while keeping contents
+    /// and all learning state (tracker, monitor, chosen classes, epoch
+    /// position) — mirroring how a warmup phase is excluded from
+    /// measurement.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.deli_hits = 0;
+        self.deli_fills = 0;
+        if self.audit.is_some() {
+            self.audit_snapshot();
+        }
+    }
+
+    /// Enables or disables epoch telemetry. Disabling clears anything
+    /// buffered. Off by default: the only cost while disabled is one
+    /// branch per epoch.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled;
+        if !enabled {
+            self.pending_epochs.clear();
+        }
+    }
+
+    /// Takes every buffered [`EpochSummary`] (empty while telemetry is
+    /// disabled).
+    pub fn drain_epochs(&mut self) -> Vec<EpochSummary<C>> {
+        mem::take(&mut self.pending_epochs)
+    }
+
+    /// Overrides the chosen class set until the next selection epoch
+    /// recomputes it.
+    ///
+    /// Intended for tests and for operational pinning (e.g. forcing a
+    /// tenant's entries to be retained while gathering evidence); the
+    /// normal path is to let the epoch selection decide.
+    pub fn force_chosen(&mut self, classes: &[C]) {
+        self.chosen = classes.iter().copied().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InsertionClass;
+
+    type Kernel = NucacheKernel<u32, InsertionClass>;
+
+    fn cfg(sets: usize, ways: usize, deli: usize) -> KernelConfig {
+        let mut c = KernelConfig::default()
+            .with_sets(sets)
+            .with_ways(ways)
+            .with_deli_ways(deli)
+            .with_epoch_len(1000);
+        c.monitor_shift = 0; // observe every set in tests
+        c
+    }
+
+    fn class(raw: u64) -> InsertionClass {
+        InsertionClass::new(raw)
+    }
+
+    /// A get-then-put demand access, like the simulator adapter's.
+    fn access(k: &mut Kernel, c: u64, key: u64) -> bool {
+        if k.get(key, class(c)).is_hit() {
+            true
+        } else {
+            k.put(key, class(c), 0);
+            false
+        }
+    }
+
+    #[test]
+    fn basic_hit_miss_and_remove() {
+        let mut k = Kernel::init(cfg(16, 4, 2)).expect("valid config");
+        assert!(!access(&mut k, 1, 5));
+        assert!(access(&mut k, 1, 5));
+        assert_eq!((k.hits(), k.misses()), (1, 1));
+        assert_eq!(k.len(), 1);
+        let gone = k.remove(5).expect("resident");
+        assert_eq!(gone.key, 5);
+        assert!(k.is_empty());
+        assert!(!access(&mut k, 1, 5));
+    }
+
+    #[test]
+    fn put_replaces_in_place() {
+        let mut k = Kernel::init(cfg(16, 4, 2)).expect("valid config");
+        k.put(9, class(1), 10);
+        assert_eq!(k.put(9, class(2), 20), None);
+        assert_eq!(k.peek(9), Some(&20));
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn unchosen_entries_bypass_deliways() {
+        let mut k = Kernel::init(cfg(1, 4, 2)).expect("valid config");
+        // 2 MainWays, 2 DeliWays; nothing chosen yet, so a working set of
+        // 3 keys thrashes the 2 MainWays exactly like a 2-way LRU.
+        let mut hits = 0;
+        for _ in 0..10 {
+            for n in 0..3 {
+                if access(&mut k, 1, n) {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits, 0);
+        assert_eq!(k.deli_fills(), 0);
+    }
+
+    #[test]
+    fn chosen_class_entries_enter_deliways_and_hit() {
+        let mut k = Kernel::init(cfg(1, 4, 2)).expect("valid config");
+        k.force_chosen(&[class(1)]);
+        let mut hits = 0;
+        for _ in 0..20 {
+            for n in 0..4 {
+                if access(&mut k, 1, n) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(k.deli_fills() > 0, "chosen entries must enter DeliWays");
+        assert!(k.deli_hits() > 0, "DeliWays must produce hits");
+        assert!(hits > 40, "retention should convert most misses, got {hits}");
+    }
+
+    #[test]
+    fn cost_benefit_selection_discovers_loop_class() {
+        let mut config = cfg(64, 16, 8);
+        config.epoch_len = 2_000;
+        let mut k = Kernel::init(config).expect("valid config");
+        let mut stream = 1 << 20;
+        for round in 0..30_000u64 {
+            access(&mut k, 1, round % 768);
+            if round % 2 == 0 {
+                access(&mut k, 2, stream);
+                stream += 1;
+            }
+        }
+        assert!(k.epochs() >= 2);
+        let chosen = k.chosen_classes();
+        assert!(chosen.contains(&class(1)), "loop class must be chosen, got {chosen:?}");
+        assert!(!chosen.contains(&class(2)), "stream class must not be chosen, got {chosen:?}");
+        assert!(k.deli_hits() > 0);
+    }
+
+    #[test]
+    fn promotion_moves_entry_to_main() {
+        let mut config = cfg(1, 4, 2);
+        config.promote_on_deli_hit = true;
+        let mut k = Kernel::init(config).expect("valid config");
+        k.force_chosen(&[class(1)]);
+        access(&mut k, 1, 0);
+        access(&mut k, 1, 1);
+        access(&mut k, 1, 2); // evicts 0 -> DeliWays
+        assert_eq!(k.deli_fills(), 1);
+        match k.get(0, class(1)) {
+            Lookup::Hit { region, .. } => assert_eq!(region, Region::Deli),
+            Lookup::Miss => panic!("expected a DeliWays hit"),
+        }
+        assert_eq!(k.deli_hits(), 1);
+        // After promotion, key 0 sits in the MainWays as MRU.
+        access(&mut k, 1, 3);
+        assert!(access(&mut k, 1, 0));
+    }
+
+    #[test]
+    fn audited_run_matches_unaudited_and_counts_checks() {
+        let mut config = cfg(16, 8, 4);
+        config.epoch_len = 500;
+        let run = |audit: bool| {
+            let mut k = Kernel::init(config).expect("valid config");
+            if audit {
+                k.enable_audit();
+            }
+            for n in 0..10_000u64 {
+                access(&mut k, 1 + n % 3, n % 90);
+            }
+            (
+                (k.hits(), k.misses(), k.deli_hits(), k.chosen_classes()),
+                k.audit_ops(),
+                k.epoch_checks(),
+            )
+        };
+        let (plain, ops0, checks0) = run(false);
+        let (audited, ops, checks) = run(true);
+        assert_eq!((ops0, checks0), (0, 0));
+        assert_eq!(plain, audited, "auditing must not perturb results");
+        assert!(ops > 0, "mirror must have been exercised");
+        assert!(checks > 0, "epoch invariants must have been checked");
+    }
+
+    #[test]
+    fn telemetry_emits_one_summary_per_epoch() {
+        let mut config = cfg(64, 16, 8);
+        config.epoch_len = 2_000;
+        let mut k = Kernel::init(config).expect("valid config");
+        k.set_telemetry(true);
+        for round in 0..10_000u64 {
+            access(&mut k, 1, round % 768);
+        }
+        let epochs = k.drain_epochs();
+        assert_eq!(epochs.len() as u64, k.epochs());
+        assert!(!epochs.is_empty());
+        let first = &epochs[0];
+        assert_eq!(first.epoch, 1);
+        assert_eq!(first.deli_capacity, 8 * 64);
+        assert!(first.top_classes.iter().any(|c| c.fills > 0));
+        for chosen in &first.chosen {
+            assert!(first.top_classes.iter().any(|c| c.class == *chosen && c.chosen));
+        }
+        assert!(k.drain_epochs().is_empty(), "drain consumes the buffer");
+    }
+
+    #[test]
+    fn reset_stats_keeps_learning_state() {
+        let mut config = cfg(16, 4, 2);
+        config.epoch_len = 100;
+        let mut k = Kernel::init(config).expect("valid config");
+        for n in 0..500 {
+            access(&mut k, 1, n % 40);
+        }
+        let epochs = k.epochs();
+        k.reset_stats();
+        assert_eq!((k.hits(), k.misses(), k.deli_hits()), (0, 0, 0));
+        assert_eq!(k.epochs(), epochs, "selection state survives reset");
+    }
+
+    #[test]
+    fn capacity_and_occupancy_bounds() {
+        let mut k = Kernel::init(cfg(4, 4, 2)).expect("valid config");
+        k.force_chosen(&[class(1)]);
+        for n in 0..10_000 {
+            access(&mut k, 1, n % 97);
+        }
+        assert!(k.len() <= k.capacity());
+        assert!(k.deli_occupancy() <= k.deli_capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "audit: DeliWays hits")]
+    fn audit_catches_corrupted_counter() {
+        let mut k = Kernel::init(cfg(16, 4, 2)).expect("valid config");
+        k.enable_audit();
+        access(&mut k, 1, 5);
+        k.deli_hits = 10_000; // corrupt: more deli hits than total hits
+        access(&mut k, 1, 5);
+    }
+}

@@ -149,13 +149,13 @@ proptest! {
             let line = LineAddr::new((tag << set_bits) | set);
             let pc = Pc::new(i as u64);
             // Interleave: an access, an eviction, an access, a next-use probe.
-            monitor.on_set_access(line);
+            monitor.on_set_access(line.0);
             clocks[set as usize] += 1;
-            monitor.on_evict(line, pc);
+            monitor.on_evict(line.0, pc);
             reference.insert(line.0, clocks[set as usize]);
-            monitor.on_set_access(line);
+            monitor.on_set_access(line.0);
             clocks[set as usize] += 1;
-            if let Some((_, d)) = monitor.on_next_use(line) {
+            if let Some((_, d)) = monitor.on_next_use(line.0) {
                 let expected = clocks[set as usize] - reference[&line.0];
                 prop_assert_eq!(d, expected);
             }

@@ -13,6 +13,7 @@
 //! draws are uniform.
 
 #![forbid(unsafe_code)]
+#![no_std]
 
 /// Random number generators.
 pub mod rngs {
