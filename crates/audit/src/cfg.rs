@@ -1,0 +1,700 @@
+//! Per-function intraprocedural control-flow graphs over the token
+//! stream.
+//!
+//! Two layers live here:
+//!
+//! * [`fn_spans`] finds every `fn` declaration in a file's token stream
+//!   with its name, enclosing `impl`/`trait` parent, visibility and body
+//!   token range — the unit the effect inference works per-function on;
+//! * [`build_cfg`] turns one function body into a statement-level CFG by
+//!   structured recursive descent: control keywords (`if`, `match`,
+//!   `while`, `loop`, `for`) are recognized only at *statement start*, so
+//!   expression-position control flow (`let x = if …`, closures, struct
+//!   literals) is swallowed into the enclosing statement by delimiter
+//!   depth tracking. That keeps the builder total on anything the lexer
+//!   accepts.
+//!
+//! The graph deliberately over-approximates reachability: a diverging
+//! statement (`return`/`break`/`continue`) gets both its real edge and a
+//! fall-through edge, and a `loop` head gets an edge to the loop's after
+//! block even when no `break` exists. Every block therefore stays
+//! reachable from the entry, and the downstream lints (which only ever
+//! ask "may statement B execute while X from statement A is live?")
+//! remain conservative. `?` adds an exit edge from the statement's
+//! block.
+
+use crate::symbols::{TokKind, Token};
+use std::ops::Range;
+
+/// One `fn` declaration found in a token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self-type name, if any.
+    pub parent: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the fn is plain `pub` (not `pub(crate)`/private).
+    pub vis_pub: bool,
+    /// Token index range of the body, excluding the outer braces.
+    /// Empty for bodiless trait/extern signatures.
+    pub body: Range<usize>,
+}
+
+impl FnSpan {
+    /// `Parent::name`, or the bare name for free functions.
+    pub fn qualified(&self) -> String {
+        match &self.parent {
+            Some(p) => format!("{p}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Finds every `fn` in `tokens` with parent and body extent.
+///
+/// Parent tracking is lexical: an `impl`/`trait` header pushes its
+/// self-type name when its brace opens, and the innermost such scope
+/// names the parent. Nested fns inherit the enclosing impl's parent —
+/// an acceptable over-approximation for this workspace's style.
+pub fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    // Parent name per open brace; None for non-impl scopes.
+    let mut scopes: Vec<Option<String>> = Vec::new();
+    // Self-type name waiting for its `{`.
+    let mut pending: Option<String> = None;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            scopes.push(pending.take());
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            scopes.pop();
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            pending = impl_self_type(tokens, i);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let Some(name_tok) = tokens.get(i + 1) else { break };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let vis_pub = decl_is_pub(tokens, i);
+            let parent = scopes.iter().rev().flatten().next().cloned();
+            // Scan forward for the body `{` or a bodiless `;` at
+            // delimiter depth 0 (params and return types balance).
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut body = 0..0;
+            while let Some(tk) = tokens.get(j) {
+                if tk.kind == TokKind::Punct {
+                    match tk.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            let close = matching_brace(tokens, j);
+                            body = j + 1..close;
+                            break;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            out.push(FnSpan { name: name_tok.text.clone(), parent, line: t.line, vis_pub, body });
+            // Keep scanning *inside* the body too (nested fns), so do
+            // not skip ahead; the scope stack absorbs the braces.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The self-type name of an `impl`/`trait` header starting at `i`
+/// (`impl<T> Foo<T>`, `impl Trait for Bar` → `Bar`, `trait Baz` → `Baz`).
+fn impl_self_type(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    while let Some(t) = tokens.get(j) {
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "{" | ";" if angle <= 0 => return last_ident,
+                _ => {}
+            },
+            TokKind::Ident if angle == 0 => {
+                if t.text == "for" {
+                    // `impl Trait for Type`: restart, the self type follows.
+                    last_ident = None;
+                } else if t.text != "where" && t.text != "dyn" && t.text != "mut" {
+                    last_ident = Some(t.text.clone());
+                } else if t.text == "where" {
+                    return last_ident;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    last_ident
+}
+
+/// Whether the `fn` keyword at `i` is preceded by a plain `pub` within
+/// its modifier run (`pub const unsafe fn …`). `pub(crate)` and
+/// narrower do not count.
+fn decl_is_pub(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        match t.text.as_str() {
+            "const" | "unsafe" | "async" | "extern" | ")" => continue,
+            "(" | "crate" | "super" | "in" | "self" => continue,
+            "pub" => return tokens.get(j + 1).is_none_or(|n| !n.is_punct("(")),
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Token index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// One statement: a token range and the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Token index range (into the file's token stream).
+    pub tokens: Range<usize>,
+    /// 1-indexed line of the first token.
+    pub line: usize,
+}
+
+/// One basic block: statements in order, successor block indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Block {
+    /// Statements executed in order.
+    pub stmts: Vec<Stmt>,
+    /// Successor block indices (deduplicated).
+    pub succs: Vec<usize>,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// All blocks; indices are stable across identical inputs.
+    pub blocks: Vec<Block>,
+    /// Index of the entry block.
+    pub entry: usize,
+    /// Index of the single synthetic exit block (never has successors
+    /// or statements).
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Blocks reachable from `from`, as a bool-per-block vector.
+    pub fn reachable_from(&self, from: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![from];
+        while let Some(b) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            stack.extend(self.blocks[b].succs.iter().copied());
+        }
+        seen
+    }
+
+    /// Whether every block is reachable from the entry — the builder's
+    /// structural invariant (over-approximate edges guarantee it).
+    pub fn all_reachable(&self) -> bool {
+        self.reachable_from(self.entry).iter().all(|&r| r)
+    }
+}
+
+/// An open loop during parsing: where `continue`/`break` go.
+struct LoopCtx {
+    head: usize,
+    after: usize,
+    label: Option<String>,
+}
+
+struct Builder<'t> {
+    toks: &'t [Token],
+    blocks: Vec<Block>,
+    exit: usize,
+    loops: Vec<LoopCtx>,
+}
+
+/// Builds the CFG of one function body (`body` excludes the outer
+/// braces, as produced by [`fn_spans`]).
+pub fn build_cfg(tokens: &[Token], body: Range<usize>) -> Cfg {
+    let mut b = Builder { toks: tokens, blocks: Vec::new(), exit: 0, loops: Vec::new() };
+    let entry = b.new_block();
+    let exit = b.new_block();
+    b.exit = exit;
+    let last = b.parse_seq(body.start, body.end, entry);
+    b.edge(last, exit);
+    for blk in &mut b.blocks {
+        blk.succs.sort_unstable();
+        blk.succs.dedup();
+    }
+    Cfg { blocks: b.blocks, entry, exit }
+}
+
+impl<'t> Builder<'t> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(to);
+    }
+
+    fn push_stmt(&mut self, block: usize, range: Range<usize>) {
+        if range.is_empty() {
+            return;
+        }
+        let line = self.toks[range.start].line;
+        self.blocks[block].stmts.push(Stmt { tokens: range, line });
+    }
+
+    /// Parses the statement sequence `[i, end)` starting in `cur`;
+    /// returns the block control falls out of.
+    fn parse_seq(&mut self, mut i: usize, end: usize, mut cur: usize) -> usize {
+        let mut label: Option<String> = None;
+        while i < end {
+            let t = &self.toks[i];
+            // `'outer: loop { … }` — remember the label for the loop.
+            if t.kind == TokKind::Lifetime
+                && self.toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
+                && self
+                    .toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_ident("loop") || n.is_ident("while") || n.is_ident("for"))
+            {
+                label = Some(t.text.clone());
+                i += 2;
+                continue;
+            }
+            if t.is_ident("if") {
+                let (ni, join) = self.parse_if(i, end, cur);
+                i = ni;
+                cur = join;
+            } else if t.is_ident("while") || t.is_ident("for") || t.is_ident("loop") {
+                let (ni, after) = self.parse_loop(i, end, cur, label.take());
+                i = ni;
+                cur = after;
+            } else if t.is_ident("match") {
+                let (ni, join) = self.parse_match(i, end, cur);
+                i = ni;
+                cur = join;
+            } else if t.is_ident("return") || t.is_ident("break") || t.is_ident("continue") {
+                let (ni, _) = self.scan_stmt(i, end);
+                self.push_stmt(cur, i..ni);
+                let target = self.diverge_target(i);
+                self.edge(cur, target);
+                // Over-approximate fall-through keeps later statements
+                // entry-reachable (see module docs).
+                let next = self.new_block();
+                self.edge(cur, next);
+                cur = next;
+                i = ni;
+            } else if t.is_punct("{") {
+                let close = matching_brace(self.toks, i).min(end);
+                cur = self.parse_seq(i + 1, close, cur);
+                i = close + 1;
+            } else if t.is_punct(";") || t.is_punct("}") {
+                i += 1;
+            } else {
+                let (ni, has_question) = self.scan_stmt(i, end);
+                self.push_stmt(cur, i..ni);
+                if has_question {
+                    self.edge(cur, self.exit);
+                }
+                i = ni;
+            }
+        }
+        cur
+    }
+
+    /// Where a `return`/`break`/`continue` at `i` transfers to.
+    fn diverge_target(&self, i: usize) -> usize {
+        let t = &self.toks[i];
+        if t.is_ident("return") {
+            return self.exit;
+        }
+        let wanted =
+            self.toks.get(i + 1).filter(|n| n.kind == TokKind::Lifetime).map(|n| n.text.clone());
+        let ctx = match &wanted {
+            Some(l) => self.loops.iter().rev().find(|c| c.label.as_deref() == Some(l)),
+            None => self.loops.last(),
+        };
+        match ctx {
+            Some(c) if t.is_ident("continue") => c.head,
+            Some(c) => c.after,
+            // `break` outside a loop (malformed or a swallowed closure):
+            // conservatively an exit.
+            None => self.exit,
+        }
+    }
+
+    /// Scans one flat statement from `i`: to the `;` at delimiter depth
+    /// 0 (inclusive) or to `end`. Returns `(next_index, saw_question)`.
+    fn scan_stmt(&self, mut i: usize, end: usize) -> (usize, bool) {
+        let mut depth = 0i32;
+        let mut question = false;
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "}" => {
+                        if depth == 0 {
+                            // Tail expression of the enclosing block.
+                            return (i, question);
+                        }
+                        depth -= 1;
+                    }
+                    "?" => question = true,
+                    ";" if depth == 0 => return (i + 1, question),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        (end, question)
+    }
+
+    /// Scans from `i` to the first `{` at paren/bracket depth 0 — the
+    /// head (condition / iterator / scrutinee) of a control statement.
+    fn scan_head(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => return i,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// `if cond { … } [else if … | else { … }]` from `i` in `cur`.
+    /// Returns `(next_index, join_block)`.
+    fn parse_if(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        let brace = self.scan_head(i + 1, end);
+        self.push_stmt(cur, i..brace);
+        if brace >= end {
+            return (end, cur);
+        }
+        let close = matching_brace(self.toks, brace).min(end);
+        let then = self.new_block();
+        self.edge(cur, then);
+        let then_end = self.parse_seq(brace + 1, close, then);
+        let join;
+        let mut ni = close + 1;
+        if self.toks.get(ni).filter(|t| t.is_ident("else")).is_some() && ni < end {
+            let else_blk = self.new_block();
+            self.edge(cur, else_blk);
+            let else_end;
+            if self.toks.get(ni + 1).is_some_and(|t| t.is_ident("if")) {
+                let (n2, j2) = self.parse_if(ni + 1, end, else_blk);
+                ni = n2;
+                else_end = j2;
+            } else if self.toks.get(ni + 1).is_some_and(|t| t.is_punct("{")) {
+                let eclose = matching_brace(self.toks, ni + 1).min(end);
+                else_end = self.parse_seq(ni + 2, eclose, else_blk);
+                ni = eclose + 1;
+            } else {
+                else_end = else_blk;
+                ni += 1;
+            }
+            join = self.new_block();
+            self.edge(then_end, join);
+            self.edge(else_end, join);
+        } else {
+            join = self.new_block();
+            self.edge(then_end, join);
+            self.edge(cur, join);
+        }
+        (ni, join)
+    }
+
+    /// `while`/`for`/`loop` from `i` in `cur`. Returns
+    /// `(next_index, after_block)`.
+    fn parse_loop(
+        &mut self,
+        i: usize,
+        end: usize,
+        cur: usize,
+        label: Option<String>,
+    ) -> (usize, usize) {
+        let brace = self.scan_head(i + 1, end);
+        let head = self.new_block();
+        self.edge(cur, head);
+        // Condition / iterator evaluation happens in the head.
+        self.push_stmt(head, i..brace);
+        if brace >= end {
+            return (end, head);
+        }
+        let close = matching_brace(self.toks, brace).min(end);
+        let body = self.new_block();
+        let after = self.new_block();
+        self.edge(head, body);
+        // Even a bare `loop` gets head → after so `after` stays
+        // entry-reachable (over-approximation, see module docs).
+        self.edge(head, after);
+        self.loops.push(LoopCtx { head, after, label });
+        let body_end = self.parse_seq(brace + 1, close, body);
+        self.loops.pop();
+        self.edge(body_end, head);
+        (close + 1, after)
+    }
+
+    /// `match scrutinee { arms… }` from `i` in `cur`. Returns
+    /// `(next_index, join_block)`.
+    fn parse_match(&mut self, i: usize, end: usize, cur: usize) -> (usize, usize) {
+        let brace = self.scan_head(i + 1, end);
+        self.push_stmt(cur, i..brace);
+        if brace >= end {
+            return (end, cur);
+        }
+        let close = matching_brace(self.toks, brace).min(end);
+        let join = self.new_block();
+        let mut j = brace + 1;
+        let mut any_arm = false;
+        while j < close {
+            // Pattern (+ optional guard) up to `=>` at depth 0.
+            let arrow = self.scan_arrow(j, close);
+            if arrow >= close {
+                break;
+            }
+            any_arm = true;
+            let arm = self.new_block();
+            self.edge(cur, arm);
+            // Guard expressions can call things: keep the pattern+guard
+            // tokens as a statement of the arm block.
+            self.push_stmt(arm, j..arrow);
+            let body_start = arrow + 1;
+            let arm_end;
+            if self.toks.get(body_start).is_some_and(|t| t.is_punct("{")) {
+                let bclose = matching_brace(self.toks, body_start).min(close);
+                arm_end = self.parse_seq(body_start + 1, bclose, arm);
+                j = bclose + 1;
+            } else {
+                // Expression arm: one statement to the `,` at depth 0.
+                let stop = self.scan_arm_expr(body_start, close);
+                let first = self.toks.get(body_start);
+                let mut cur_arm = arm;
+                if first.is_some_and(|t| {
+                    t.is_ident("return") || t.is_ident("break") || t.is_ident("continue")
+                }) {
+                    self.push_stmt(cur_arm, body_start..stop);
+                    let target = self.diverge_target(body_start);
+                    self.edge(cur_arm, target);
+                } else {
+                    cur_arm = self.parse_seq(body_start, stop, cur_arm);
+                }
+                arm_end = cur_arm;
+                j = stop + 1;
+            }
+            self.edge(arm_end, join);
+            if self.toks.get(j).is_some_and(|t| t.is_punct(",")) {
+                j += 1;
+            }
+        }
+        if !any_arm {
+            self.edge(cur, join);
+        }
+        (close + 1, join)
+    }
+
+    /// Index of the `=>` at delimiter depth 0 starting from `i`.
+    fn scan_arrow(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => return i,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// End of an expression match arm: the `,` at depth 0, or `end`.
+    fn scan_arm_expr(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => return i,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::symbols::tokenize;
+
+    fn spans_of(src: &str) -> (Vec<Token>, Vec<FnSpan>) {
+        let tokens = tokenize(&scan(src).blanked);
+        let spans = fn_spans(&tokens);
+        (tokens, spans)
+    }
+
+    fn cfg_of(src: &str) -> Cfg {
+        let (tokens, spans) = spans_of(src);
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        build_cfg(&tokens, spans[0].body.clone())
+    }
+
+    #[test]
+    fn fn_spans_find_parents_and_visibility() {
+        let (_, spans) = spans_of(
+            "impl<T> Foo<T> { pub fn a(&self) {} fn b() {} }\n\
+             impl Debug for Bar { fn fmt(&self) {} }\n\
+             pub(crate) fn free() {}\n\
+             trait Tr { fn sig(&self); fn dflt(&self) { self.sig() } }\n",
+        );
+        let q: Vec<(String, bool)> = spans.iter().map(|s| (s.qualified(), s.vis_pub)).collect();
+        assert_eq!(
+            q,
+            [
+                ("Foo::a".to_string(), true),
+                ("Foo::b".to_string(), false),
+                ("Bar::fmt".to_string(), false),
+                ("free".to_string(), false),
+                ("Tr::sig".to_string(), false),
+                ("Tr::dflt".to_string(), false),
+            ]
+        );
+        assert!(spans[4].body.is_empty(), "bodiless trait signature");
+        assert!(!spans[5].body.is_empty(), "default method has a body");
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of("fn f() { let a = 1; let b = a + 2; b }");
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 3);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+        assert!(cfg.all_reachable());
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let cfg = cfg_of("fn f(x: u64) -> u64 { if x > 1 { a() } else { b() } }");
+        // entry (cond) → then, else; both → join → exit.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+        assert!(cfg.all_reachable());
+        assert!(cfg.blocks[cfg.exit].succs.is_empty());
+    }
+
+    #[test]
+    fn expression_position_if_is_swallowed() {
+        let cfg = cfg_of("fn f(c: bool) { let x = if c { 1 } else { 2 }; use_it(x); }");
+        // No branching: both statements sit in the entry block.
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 2);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_labeled_break() {
+        let cfg =
+            cfg_of("fn f() { 'outer: loop { while cond() { if x { break 'outer; } } } done(); }");
+        assert!(cfg.all_reachable());
+        // Some block must point back to a lower-numbered block (the back edge).
+        let has_back = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|&s| s <= i && s != cfg.exit));
+        assert!(has_back, "{cfg:?}");
+    }
+
+    #[test]
+    fn question_mark_adds_exit_edge() {
+        let cfg = cfg_of("fn f() -> Option<u64> { let v = g()?; Some(v + 1) }");
+        assert!(cfg.blocks[cfg.entry].succs.contains(&cfg.exit));
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 2);
+    }
+
+    #[test]
+    fn match_arms_fan_out_and_rejoin() {
+        let cfg = cfg_of(
+            "fn f(x: Option<u64>) -> u64 { match x { Some(v) if v > 2 => v, Some(v) => { h(v); v } None => 0, } }",
+        );
+        // Scrutinee block fans out to three arms.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 3, "{cfg:?}");
+        assert!(cfg.all_reachable());
+    }
+
+    #[test]
+    fn return_reaches_exit_and_builder_stays_total() {
+        let cfg = cfg_of("fn f(x: bool) -> u64 { if x { return 3; } compute() }");
+        assert!(cfg.all_reachable());
+        // The then-branch block carries an edge to exit.
+        let to_exit = cfg.blocks.iter().filter(|b| b.succs.contains(&cfg.exit)).count();
+        assert!(to_exit >= 2, "return and fn tail both exit: {cfg:?}");
+    }
+
+    #[test]
+    fn closures_and_nested_braces_are_swallowed() {
+        let cfg = cfg_of(
+            "fn f(v: &mut Vec<u64>) { v.retain(|x| { *x /= 2; *x > 0 }); let s = S { a: 1 }; }",
+        );
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 2);
+    }
+}

@@ -18,6 +18,34 @@ pub struct Suppression {
     pub file_wide: bool,
 }
 
+/// The kind of a hot-path contract annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// `// audit:hot-path` — the next `fn` is a hot-path root: no
+    /// allocation may be reachable from it without a justification.
+    HotPath,
+    /// `// audit:allow-alloc(reason)` — on a `fn`, the function is an
+    /// allocation boundary (e.g. the epoch selection pass); on a site,
+    /// the single allocation on this or the next line is permitted.
+    AllowAlloc,
+}
+
+/// A machine-checkable contract annotation parsed from a comment.
+///
+/// Unlike [`Suppression`]s these are not escape hatches: the effects
+/// pass *requires* them on hot-path roots and allocation sites, and
+/// cross-checks every `allow-alloc` against the justification file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// 1-indexed line the annotation appears on.
+    pub line: usize,
+    /// What the annotation declares.
+    pub kind: AnnotationKind,
+    /// The parenthesized reason (`allow-alloc` only; empty for
+    /// `hot-path`).
+    pub reason: String,
+}
+
 /// The scanner's output for one file.
 #[derive(Debug, Clone)]
 pub struct ScannedFile {
@@ -26,6 +54,8 @@ pub struct ScannedFile {
     pub blanked: String,
     /// Suppression directives found in comments.
     pub suppressions: Vec<Suppression>,
+    /// Hot-path contract annotations found in comments.
+    pub annotations: Vec<Annotation>,
     /// 1-indexed line of the first `#[cfg(test)]` attribute, if any.
     /// Workspace convention keeps test modules at the end of the file, so
     /// everything from this line on is treated as test code.
@@ -50,6 +80,26 @@ impl ScannedFile {
             .iter()
             .any(|s| s.lint == lint && (s.file_wide || s.line == line || s.line + 1 == line))
     }
+
+    /// The `allow-alloc` annotation covering a site at `line` (the same
+    /// line or the line above), if any.
+    pub fn allow_alloc_at(&self, line: usize) -> Option<&Annotation> {
+        self.annotations.iter().find(|a| {
+            a.kind == AnnotationKind::AllowAlloc && (a.line == line || a.line + 1 == line)
+        })
+    }
+
+    /// Annotations of `kind` whose line falls in `[line - reach, line]`
+    /// — used to attach fn-level annotations to a declaration that may
+    /// have attributes between the comment and the `fn` keyword.
+    pub fn annotation_above(
+        &self,
+        kind: AnnotationKind,
+        line: usize,
+        reach: usize,
+    ) -> Option<&Annotation> {
+        self.annotations.iter().find(|a| a.kind == kind && a.line <= line && a.line + reach >= line)
+    }
 }
 
 /// Parses suppression directives out of one comment's text.
@@ -73,6 +123,25 @@ fn parse_directives(comment: &str, line: usize, out: &mut Vec<Suppression>) {
     }
 }
 
+/// Parses hot-path contract annotations out of one comment's text.
+fn parse_annotations(comment: &str, line: usize, out: &mut Vec<Annotation>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("audit:") {
+        rest = &rest[pos + "audit:".len()..];
+        if rest.starts_with("hot-path") {
+            out.push(Annotation { line, kind: AnnotationKind::HotPath, reason: String::new() });
+        } else if let Some(inner) = rest.strip_prefix("allow-alloc(") {
+            if let Some(end) = inner.find(')') {
+                out.push(Annotation {
+                    line,
+                    kind: AnnotationKind::AllowAlloc,
+                    reason: inner[..end].trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// Scans `source`, blanking comments and literals and collecting
 /// suppression directives.
 ///
@@ -83,6 +152,7 @@ pub fn scan(source: &str) -> ScannedFile {
     let bytes: Vec<char> = source.chars().collect();
     let mut blanked = String::with_capacity(source.len());
     let mut suppressions = Vec::new();
+    let mut annotations = Vec::new();
     let mut first_test_line = None;
     let mut line = 1usize;
     let mut i = 0usize;
@@ -121,6 +191,7 @@ pub fn scan(source: &str) -> ScannedFile {
             }
             let text: String = bytes[start..i].iter().collect();
             parse_directives(&text, line, &mut suppressions);
+            parse_annotations(&text, line, &mut annotations);
             for _ in start..i {
                 blanked.push(' ');
             }
@@ -145,6 +216,7 @@ pub fn scan(source: &str) -> ScannedFile {
             }
             let text: String = bytes[start..i].iter().collect();
             parse_directives(&text, start_line, &mut suppressions);
+            parse_annotations(&text, start_line, &mut annotations);
             for c in text.chars() {
                 blank!(c);
             }
@@ -221,7 +293,7 @@ pub fn scan(source: &str) -> ScannedFile {
         i += 1;
     }
 
-    ScannedFile { blanked, suppressions, first_test_line }
+    ScannedFile { blanked, suppressions, annotations, first_test_line }
 }
 
 /// Whether the char before `i` can extend an identifier (so `r` in `for`

@@ -30,12 +30,22 @@
 //! a cross-crate [use graph](graph) and four [semantic lints](semantic)
 //! (`counter-dataflow`, `doc-constant-drift`, `cfg-gate-consistency`,
 //! `dead-cross-crate-pub`). See `DESIGN.md` §10 for the analysis model.
+//!
+//! The flow-aware layer ([mod@cfg], [effects], [hotpath]) builds per-function
+//! control-flow graphs, infers an `alloc`/`panic`/`lock`/`io` effect set
+//! per function through the workspace call graph, and gates the kernel's
+//! hot-path contracts (`alloc-in-hot-path`, `panic-in-hot-path`,
+//! `lock-held-across-call`) against a per-site justification file. See
+//! `DESIGN.md` §14.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfg;
 pub mod diag;
+pub mod effects;
 pub mod graph;
+pub mod hotpath;
 pub mod lexer;
 pub mod lints;
 pub mod manifest;
@@ -44,8 +54,11 @@ pub mod semantic;
 pub mod symbols;
 pub mod walk;
 
+pub use cfg::{build_cfg, fn_spans, Cfg, FnSpan};
 pub use diag::{Diagnostic, Severity};
+pub use effects::{EffectModel, EffectSet, FnInfo};
 pub use graph::UseGraph;
+pub use hotpath::{run_effect_lints, Justifications, EFFECT_LINTS};
 pub use lexer::ScannedFile;
 pub use lints::{run_lints, Allowlist, LINTS};
 pub use resolve::Workspace;

@@ -217,6 +217,22 @@ fn lint_wall_clock(rel: &str, class: &FileClass, s: &ScannedFile, out: &mut Vec<
 
 fn lint_forbid_unsafe(rel: &str, class: &FileClass, s: &ScannedFile, out: &mut Vec<Diagnostic>) {
     const LINT: &str = "forbid-unsafe-missing";
+    // An `allow(unsafe_code)` anywhere (inner or outer attribute) carves
+    // a hole in the workspace-wide forbid; ban it in every file.
+    for (line_no, line) in s.lines() {
+        if s.is_suppressed(LINT, line_no) {
+            continue;
+        }
+        if line.replace(' ', "").contains("allow(unsafe_code)") {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: line_no,
+                lint: LINT,
+                message: "`allow(unsafe_code)` weakens the workspace-wide forbid".to_string(),
+                severity: Severity::Error,
+            });
+        }
+    }
     if !class.is_crate_root || s.is_suppressed(LINT, 0) || s.is_suppressed(LINT, 1) {
         return;
     }
@@ -230,6 +246,42 @@ fn lint_forbid_unsafe(rel: &str, class: &FileClass, s: &ScannedFile, out: &mut V
             severity: Severity::Error,
         });
     }
+}
+
+/// Manifest half of `forbid-unsafe-missing`: the inline attribute only
+/// covers the crate root's module tree, so every workspace crate must
+/// also opt into the workspace lint table (which reaches bins, examples
+/// and build scripts), and the root manifest must actually pin
+/// `unsafe_code = "forbid"` there.
+fn lint_unsafe_manifest_gaps(root: &Path) -> Vec<Diagnostic> {
+    const LINT: &str = "forbid-unsafe-missing";
+    let mut out = Vec::new();
+    for (name, m) in &crate::manifest::Manifests::load(root).by_crate {
+        if name == "root" {
+            if !m.forbids_unsafe {
+                out.push(Diagnostic {
+                    file: "Cargo.toml".to_string(),
+                    line: 0,
+                    lint: LINT,
+                    message: "workspace lint table must pin `unsafe_code = \"forbid\"`".to_string(),
+                    severity: Severity::Error,
+                });
+            }
+        } else if !m.lints_workspace {
+            let dir = name.strip_prefix("nucache-").unwrap_or(name);
+            out.push(Diagnostic {
+                file: format!("crates/{dir}/Cargo.toml"),
+                line: 0,
+                lint: LINT,
+                message: "crate must opt into the workspace lint table with \
+                          `[lints] workspace = true` so `unsafe_code = \"forbid\"` \
+                          reaches its bins and build scripts"
+                    .to_string(),
+                severity: Severity::Error,
+            });
+        }
+    }
+    out
 }
 
 fn lint_lossy_cast(rel: &str, class: &FileClass, s: &ScannedFile, out: &mut Vec<Diagnostic>) {
@@ -311,6 +363,7 @@ pub fn run_lints(root: &Path, allowlist: &Allowlist) -> std::io::Result<Vec<Diag
         let source = std::fs::read_to_string(&path)?;
         out.extend(lint_file(&rel, &source, allowlist));
     }
+    out.extend(lint_unsafe_manifest_gaps(root));
     out.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(out)
 }
@@ -428,6 +481,17 @@ mod tests {
     fn forbid_unsafe_suppressed_file_wide() {
         let src = "// nucache-audit: allow-file(forbid-unsafe-missing)\npub mod llc;\n";
         assert!(lint("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_flags_allow_unsafe_code_anywhere() {
+        let d = lint("crates/core/src/llc.rs", "#[allow(unsafe_code)]\nfn f() {}\n");
+        assert_eq!(names(&d), ["forbid-unsafe-missing"]);
+        assert_eq!(d[0].line, 1);
+        // Inner attribute form and mentions inside comments.
+        let d = lint("crates/core/src/llc.rs", "#![allow( unsafe_code )]\n");
+        assert_eq!(names(&d), ["forbid-unsafe-missing"]);
+        assert!(lint("crates/core/src/llc.rs", "// allow(unsafe_code) in prose\n").is_empty());
     }
 
     // --- lossy-cast-in-counters ---

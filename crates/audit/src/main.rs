@@ -6,16 +6,20 @@
 //! cargo run -p nucache-audit -- lint --lint counter-dataflow
 //! cargo run -p nucache-audit -- lint --update-baseline # rewrite pub_baseline.txt
 //! cargo run -p nucache-audit -- graph --format json    # cross-crate use graph
+//! cargo run -p nucache-audit -- effects                # hot-path contract gates
+//! cargo run -p nucache-audit -- effects --list         # per-function effect sets
+//! cargo run -p nucache-audit -- effects --update-justify # rewrite hotpath.txt stubs
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
+use nucache_audit::hotpath::{run_effect_lints, Justifications, EFFECT_LINTS};
 use nucache_audit::lints::{current_unwrap_counts, run_lints, Allowlist, LINTS};
 use nucache_audit::semantic::dead_pub::{self, Baseline};
 use nucache_audit::semantic::{run_semantic_lints, SEMANTIC_LINTS};
-use nucache_audit::{UseGraph, Workspace};
+use nucache_audit::{EffectModel, UseGraph, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,13 +29,17 @@ const ALLOWLIST_REL: &str = "crates/audit/allowlist.txt";
 /// Relative location of the dead-pub baseline inside the workspace.
 const BASELINE_REL: &str = "crates/audit/pub_baseline.txt";
 
+/// Relative location of the hot-path justification ledger.
+const HOTPATH_REL: &str = "crates/audit/hotpath.txt";
+
 fn usage() {
     eprintln!(
-        "usage: nucache-audit [lint|graph] [options]\n\
+        "usage: nucache-audit [lint|graph|effects] [options]\n\
          \n\
          subcommands:\n\
-         \x20 lint    run every per-file and workspace lint (the default)\n\
-         \x20 graph   print the cross-crate use graph\n\
+         \x20 lint     run every per-file and workspace lint (the default)\n\
+         \x20 graph    print the cross-crate use graph\n\
+         \x20 effects  run the flow-aware hot-path contract gates\n\
          \n\
          options:\n\
          \x20 --format text|json   output format (default text)\n\
@@ -39,6 +47,8 @@ fn usage() {
          \x20 --lint NAME          run only the named lint(s); repeatable\n\
          \x20 --update-allowlist   rewrite {ALLOWLIST_REL} from current unwrap counts\n\
          \x20 --update-baseline    rewrite {BASELINE_REL} from current dead-pub findings\n\
+         \x20 --update-justify     rewrite {HOTPATH_REL} from current effect findings\n\
+         \x20 --list               (effects) print per-function inferred effect sets\n\
          \n\
          exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error\n\
          \n\
@@ -49,6 +59,10 @@ fn usage() {
     }
     eprintln!("\nworkspace lints:");
     for (name, rule) in SEMANTIC_LINTS {
+        eprintln!("  {name:<28} {rule}");
+    }
+    eprintln!("\neffect lints (effects subcommand):");
+    for (name, rule) in EFFECT_LINTS {
         eprintln!("  {name:<28} {rule}");
     }
     eprintln!(
@@ -65,6 +79,8 @@ struct Cli {
     only: Vec<String>,
     update_allowlist: bool,
     update_baseline: bool,
+    update_justify: bool,
+    list_effects: bool,
 }
 
 fn parse_args() -> Result<Option<Cli>, String> {
@@ -75,15 +91,21 @@ fn parse_args() -> Result<Option<Cli>, String> {
         only: Vec::new(),
         update_allowlist: false,
         update_baseline: false,
+        update_justify: false,
+        list_effects: false,
     };
     let mut args = std::env::args().skip(1).peekable();
     if let Some(first) = args.peek() {
-        if first == "lint" || first == "graph" {
+        if first == "lint" || first == "graph" || first == "effects" {
             cli.command = args.next().unwrap_or_default();
         }
     }
-    let known: Vec<&str> =
-        LINTS.iter().chain(SEMANTIC_LINTS.iter()).map(|(name, _)| *name).collect();
+    let known: Vec<&str> = LINTS
+        .iter()
+        .chain(SEMANTIC_LINTS.iter())
+        .chain(EFFECT_LINTS.iter())
+        .map(|(name, _)| *name)
+        .collect();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next() {
@@ -101,6 +123,8 @@ fn parse_args() -> Result<Option<Cli>, String> {
             },
             "--update-allowlist" => cli.update_allowlist = true,
             "--update-baseline" => cli.update_baseline = true,
+            "--update-justify" => cli.update_justify = true,
+            "--list" => cli.list_effects = true,
             "--help" | "-h" => {
                 usage();
                 return Ok(None);
@@ -170,6 +194,62 @@ fn run_lint(cli: &Cli) -> Result<ExitCode, String> {
     Ok(if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// `effects` subcommand body: build the effect model, run the hot-path
+/// contract gates against the justification ledger.
+fn run_effects(cli: &Cli) -> Result<ExitCode, String> {
+    let ws = Workspace::load(&cli.root).map_err(|e| format!("scanning workspace: {e}"))?;
+    let model = EffectModel::build(&ws);
+
+    if cli.list_effects {
+        for f in &model.fns {
+            println!("{:<18} {:<40} {}", f.crate_name, f.qualified(), f.effects);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let path = cli.root.join(HOTPATH_REL);
+    let (just, errors) = Justifications::load(&path);
+    if let Some((line, text)) = errors.first() {
+        return Err(format!("{HOTPATH_REL}:{line}: malformed ledger line: {text:?}"));
+    }
+    let (mut diags, required) = run_effect_lints(&ws, &model, &just);
+
+    if cli.update_justify {
+        let mut ledger = Justifications { entries: required };
+        ledger.entries.sort_by(|a, b| {
+            (&a.lint, &a.krate, &a.func, &a.source).cmp(&(&b.lint, &b.krate, &b.func, &b.source))
+        });
+        let count = ledger.entries.len();
+        std::fs::write(&path, ledger.render()).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {count} entries to {}", path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.message).cmp(&(&b.file, b.line, b.lint, &b.message))
+    });
+    if !cli.only.is_empty() {
+        diags.retain(|d| cli.only.iter().any(|n| n == d.lint));
+    }
+    if cli.format == "json" {
+        print!("{}", nucache_audit::diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!(
+                "nucache-audit: hot-path contracts hold ({} effect lints, {} ledger entries)",
+                EFFECT_LINTS.len(),
+                just.entries.len()
+            );
+        } else {
+            eprintln!("nucache-audit: {} violation(s)", diags.len());
+        }
+    }
+    Ok(if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
 /// `graph` subcommand body.
 fn run_graph(cli: &Cli) -> Result<ExitCode, String> {
     let ws = Workspace::load(&cli.root).map_err(|e| format!("scanning workspace: {e}"))?;
@@ -194,6 +274,7 @@ fn main() -> ExitCode {
     };
     let result = match cli.command.as_str() {
         "graph" => run_graph(&cli),
+        "effects" => run_effects(&cli),
         _ => run_lint(&cli),
     };
     match result {

@@ -30,6 +30,17 @@ pub struct CrateManifest {
     /// Package names this crate depends on with
     /// `default-features = false`.
     pub no_default_deps: BTreeSet<String>,
+    /// Every package name this crate depends on (normal, dev and build
+    /// dependencies alike) — the effect call graph only follows edges a
+    /// crate could actually compile against.
+    pub deps: BTreeSet<String>,
+    /// Whether the manifest opts into the workspace lint table with
+    /// `[lints] workspace = true` (how `unsafe_code = "forbid"` reaches
+    /// every crate).
+    pub lints_workspace: bool,
+    /// Whether a `[workspace.lints.rust]` (or crate-local `[lints.rust]`)
+    /// table pins `unsafe_code = "forbid"`.
+    pub forbids_unsafe: bool,
 }
 
 /// Feature facts for every workspace crate, keyed by lint crate name.
@@ -83,6 +94,9 @@ fn strip_comment(line: &str) -> &str {
 fn parse_manifest(text: &str) -> CrateManifest {
     let mut features: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut no_default_deps = BTreeSet::new();
+    let mut deps = BTreeSet::new();
+    let mut lints_workspace = false;
+    let mut forbids_unsafe = false;
     let mut section = String::new();
     // Accumulates a (possibly multi-line) `name = [ ... ]` array in the
     // `[features]` section until its closing bracket.
@@ -120,16 +134,28 @@ fn parse_manifest(text: &str) -> CrateManifest {
             .or_else(|| section.strip_prefix("build-dependencies."))
         {
             // Sub-table: `[dependencies.pkg]` … `default-features = false`.
+            deps.insert(pkg.trim_matches('"').to_string());
             if line.replace(' ', "").starts_with("default-features=false") {
                 no_default_deps.insert(pkg.trim_matches('"').to_string());
             }
         } else if section.contains("dependencies") {
-            // Inline table: `pkg = { path = "…", default-features = false }`.
+            // Inline table (`pkg = { path = "…", default-features = false }`)
+            // or dotted key (`pkg.workspace = true`).
             if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim().trim_matches('"');
+                let pkg = key.split('.').next().unwrap_or(key).to_string();
+                deps.insert(pkg.clone());
                 if value.contains("default-features") && value.contains("false") {
-                    no_default_deps.insert(key.trim().trim_matches('"').to_string());
+                    no_default_deps.insert(pkg);
                 }
             }
+        } else if section == "lints" && line.replace(' ', "").starts_with("workspace=true") {
+            lints_workspace = true;
+        } else if (section == "workspace.lints.rust" || section == "lints.rust")
+            && line.replace(' ', "").starts_with("unsafe_code=")
+            && line.contains("forbid")
+        {
+            forbids_unsafe = true;
         }
     }
 
@@ -145,7 +171,7 @@ fn parse_manifest(text: &str) -> CrateManifest {
         }
     }
 
-    CrateManifest { default_features, no_default_deps }
+    CrateManifest { default_features, no_default_deps, deps, lints_workspace, forbids_unsafe }
 }
 
 /// Parses `["a", "b/c"]` into its string entries.
@@ -181,6 +207,7 @@ std = ["other/std"]
 [dependencies]
 other = { path = "../other", default-features = false }
 plain = { path = "../plain" }
+dotted.workspace = true
 
 [dev-dependencies.devdep]
 path = "../devdep"
@@ -194,6 +221,29 @@ default-features = false
         assert!(m.no_default_deps.contains("other"));
         assert!(m.no_default_deps.contains("devdep"));
         assert!(!m.no_default_deps.contains("plain"));
+        for d in ["other", "plain", "devdep", "dotted"] {
+            assert!(m.deps.contains(d), "missing dep {d}");
+        }
+        assert!(!m.deps.contains("dotted.workspace"), "dotted keys are normalized");
+        assert!(!m.lints_workspace, "no [lints] table in this manifest");
+    }
+
+    #[test]
+    fn lints_workspace_table_is_detected() {
+        let m = parse_manifest("[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n");
+        assert!(m.lints_workspace);
+        let m = parse_manifest("[package]\nname = \"x\"\n\n[lints]\nworkspace = false\n");
+        assert!(!m.lints_workspace);
+    }
+
+    #[test]
+    fn unsafe_forbid_pin_is_detected() {
+        let m = parse_manifest("[workspace.lints.rust]\nunsafe_code = \"forbid\"\n");
+        assert!(m.forbids_unsafe);
+        let m = parse_manifest("[lints.rust]\nunsafe_code = \"forbid\"\n");
+        assert!(m.forbids_unsafe);
+        let m = parse_manifest("[workspace.lints.rust]\nunsafe_code = \"deny\"\n");
+        assert!(!m.forbids_unsafe);
     }
 
     #[test]

@@ -31,6 +31,8 @@ use std::path::Path;
 pub struct FileModel {
     /// Workspace-relative path, forward slashes.
     pub rel: String,
+    /// Raw source text (doc-comment checks need the unblanked text).
+    pub raw: String,
     /// Path classification.
     pub class: FileClass,
     /// Lexer output (blanked text, suppressions, test region).
@@ -179,7 +181,7 @@ impl Workspace {
             let unit = unit_of(&class);
             let file_id = files.len();
             index_file(file_id, &tokens, &mut occurrences);
-            files.push(FileModel { rel, class, scanned, tokens, symbols, unit });
+            files.push(FileModel { rel, raw: source, class, scanned, tokens, symbols, unit });
         }
         let mut docs = Vec::new();
         for name in AUDITED_DOCS {

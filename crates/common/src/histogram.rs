@@ -39,6 +39,7 @@ impl Log2Histogram {
     /// Panics if `num_buckets` is 0 or greater than 64.
     pub fn new(num_buckets: usize) -> Self {
         assert!(num_buckets > 0 && num_buckets <= 64, "bucket count must be in 1..=64");
+        // audit:allow-alloc(bucket vector sized once at construction; hot-path callers construct lazily per class)
         Log2Histogram { buckets: vec![0; num_buckets], total: 0, overflow: 0 }
     }
 

@@ -332,15 +332,15 @@ impl Event {
 /// and nothing else.
 pub trait EventSink {
     /// Consumes one event.
-    fn record(&mut self, event: &Event);
+    fn record_event(&mut self, event: &Event);
 
     /// Consumes one event, surfacing I/O failure eagerly.
     ///
-    /// In-memory sinks cannot fail and use the default (record, then
+    /// In-memory sinks cannot fail and use the default (record_event, then
     /// `Ok`); file-backed sinks override this so producers that *can*
     /// degrade gracefully — drop telemetry, keep simulating — learn
     /// about a dead stream at the first failing write instead of at
-    /// teardown. [`EventSink::record`] remains infallible for producers
+    /// teardown. [`EventSink::record_event`] remains infallible for producers
     /// that defer error handling to the sink.
     ///
     /// # Errors
@@ -348,7 +348,7 @@ pub trait EventSink {
     /// Returns the I/O error that prevented the event from being
     /// durably recorded.
     fn try_record(&mut self, event: &Event) -> std::io::Result<()> {
-        self.record(event);
+        self.record_event(event);
         Ok(())
     }
 
@@ -364,7 +364,7 @@ pub trait EventSink {
 pub struct NullSink;
 
 impl EventSink for NullSink {
-    fn record(&mut self, _event: &Event) {}
+    fn record_event(&mut self, _event: &Event) {}
 
     fn is_enabled(&self) -> bool {
         false
@@ -407,7 +407,7 @@ impl CounterSink {
 }
 
 impl EventSink for CounterSink {
-    fn record(&mut self, event: &Event) {
+    fn record_event(&mut self, event: &Event) {
         match event {
             Event::RunStart { .. } => self.run_starts += 1,
             Event::LlcEpoch { .. } => self.llc_epochs += 1,
@@ -493,7 +493,7 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
 }
 
 impl<W: Write> EventSink for JsonlSink<W> {
-    fn record(&mut self, event: &Event) {
+    fn record_event(&mut self, event: &Event) {
         let _ = self.try_record(event);
     }
 
@@ -581,7 +581,7 @@ mod tests {
         let events = sample_events();
         let mut sink = JsonlSink::new(Vec::new());
         for e in &events {
-            sink.record(e);
+            sink.record_event(e);
         }
         assert_eq!(sink.lines(), events.len() as u64);
         let bytes = sink.finish().expect("no io error");
@@ -603,7 +603,7 @@ mod tests {
     fn counter_sink_tallies_and_tracks_churn() {
         let mut sink = CounterSink::default();
         for e in sample_events() {
-            sink.record(&e);
+            sink.record_event(&e);
         }
         assert_eq!(sink.run_starts, 1);
         assert_eq!(sink.llc_epochs, 1);
@@ -625,9 +625,9 @@ mod tests {
             top_pcs: Vec::new(),
         };
         let mut churn = CounterSink::default();
-        churn.record(&sel(vec![1, 2]));
-        churn.record(&sel(vec![1, 2]));
-        churn.record(&sel(vec![1, 3]));
+        churn.record_event(&sel(vec![1, 2]));
+        churn.record_event(&sel(vec![1, 2]));
+        churn.record_event(&sel(vec![1, 3]));
         assert_eq!(churn.transitions(), 1);
     }
 
@@ -641,7 +641,7 @@ mod tests {
         assert!(err.to_string().contains("injected fault"));
         assert_eq!(sink.lines(), 1, "no lines counted after the failure");
         // record() keeps swallowing, finish() still surfaces the error.
-        sink.record(&events[2]);
+        sink.record_event(&events[2]);
         let err = sink.finish().expect_err("finish reports the first error");
         assert!(err.to_string().contains("injected fault"));
     }

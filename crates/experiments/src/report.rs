@@ -365,7 +365,7 @@ mod tests {
         let path = dir.join("000_m__nucache-d8.jsonl");
         let mut sink = JsonlSink::create(&path).unwrap();
         for e in synthetic_events() {
-            sink.record(&e);
+            sink.record_event(&e);
         }
         sink.finish().unwrap();
 

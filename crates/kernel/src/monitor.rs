@@ -155,6 +155,7 @@ impl<C: Copy + Ord + Debug> NextUseMonitor<C> {
         let buckets = self.buckets;
         self.histograms
             .entry(pending.class)
+            // audit:allow-alloc(lazy per-class histogram, bounded by live classes)
             .or_insert_with(|| Log2Histogram::new(buckets))
             .record(distance);
         Some((pending.class, distance))

@@ -68,6 +68,7 @@ impl<C: Copy + Ord + Debug> DelinquentTracker<C> {
                 .expect("non-empty map at capacity");
             self.misses.remove(&victim);
         }
+        // audit:allow-alloc(capacity-capped per-class miss table)
         self.misses.insert(class, 1);
     }
 

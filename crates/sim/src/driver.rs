@@ -217,7 +217,7 @@ fn run_mix_impl<L: SharedLlc + ?Sized>(
     if telemetry {
         assert!(snapshot_interval > 0, "snapshot_interval must be positive with telemetry on");
         llc.set_telemetry(true);
-        sink.record(&Event::RunStart {
+        sink.record_event(&Event::RunStart {
             mix: mix.name().to_string(),
             scheme: llc.scheme_name(),
             cores: config.num_cores as u64,
@@ -293,7 +293,7 @@ fn run_mix_impl<L: SharedLlc + ?Sized>(
         llc_totals: *llc.stats(),
     };
     if telemetry {
-        sink.record(&Event::RunEnd {
+        sink.record_event(&Event::RunEnd {
             scheme: result.scheme.clone(),
             ipcs: result.ipcs(),
             per_core: result.per_core.iter().map(|c| c.llc).collect(),
