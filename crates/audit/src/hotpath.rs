@@ -140,12 +140,19 @@ impl Justifications {
 
     /// Renders the full ledger, grouped by lint, with a format header.
     pub fn render(&self) -> String {
-        let mut out = String::from(
+        self.render_with(
             "# Hot-path contract ledger: every entry tolerates one effect finding.\n\
              # Format: <lint> <crate> <Qualified::fn> <source> [tag] -- reason\n\
              # Maintained by `nucache-audit effects --update-justify`; reasons are hand-written.\n",
-        );
-        for (lint, _) in EFFECT_LINTS {
+            EFFECT_LINTS,
+        )
+    }
+
+    /// Renders the ledger under an arbitrary header, grouping entries by
+    /// the given lint order (the concurrency ledger shares this format).
+    pub fn render_with(&self, header: &str, lints: &[(&str, &str)]) -> String {
+        let mut out = String::from(header);
+        for (lint, _) in lints {
             let group: Vec<&Justification> =
                 self.entries.iter().filter(|e| e.lint == *lint).collect();
             if group.is_empty() {

@@ -37,10 +37,18 @@
 //! hot-path contracts (`alloc-in-hot-path`, `panic-in-hot-path`,
 //! `lock-held-across-call`) against a per-site justification file. See
 //! `DESIGN.md` §14.
+//!
+//! The concurrency-soundness layer ([locks], [atomics]) resolves every
+//! `Mutex`/`RwLock` guard and atomic op to a concrete lock identity,
+//! builds the workspace lock-acquisition-order graph, and gates
+//! `lock-order-cycle`, `double-lock`, `guard-escapes-hot-path` and
+//! `atomic-ordering` against the shared `crates/audit/concurrency.txt`
+//! ledger. See `DESIGN.md` §15.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomics;
 pub mod cfg;
 pub mod diag;
 pub mod effects;
@@ -48,12 +56,14 @@ pub mod graph;
 pub mod hotpath;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
 pub mod manifest;
 pub mod resolve;
 pub mod semantic;
 pub mod symbols;
 pub mod walk;
 
+pub use atomics::{run_atomic_lints, ATOMIC_LINTS};
 pub use cfg::{build_cfg, fn_spans, Cfg, FnSpan};
 pub use diag::{Diagnostic, Severity};
 pub use effects::{EffectModel, EffectSet, FnInfo};
@@ -61,6 +71,7 @@ pub use graph::UseGraph;
 pub use hotpath::{run_effect_lints, Justifications, EFFECT_LINTS};
 pub use lexer::ScannedFile;
 pub use lints::{run_lints, Allowlist, LINTS};
+pub use locks::{run_lock_lints, CONCURRENCY_LEDGER, LOCK_LINTS};
 pub use resolve::Workspace;
 pub use semantic::{dead_pub::Baseline, run_semantic_lints, SEMANTIC_LINTS};
 pub use symbols::{SymbolIndex, SymbolKind, Visibility};

@@ -9,14 +9,19 @@
 //! cargo run -p nucache-audit -- effects                # hot-path contract gates
 //! cargo run -p nucache-audit -- effects --list         # per-function effect sets
 //! cargo run -p nucache-audit -- effects --update-justify # rewrite hotpath.txt stubs
+//! cargo run -p nucache-audit -- locks                  # lock-discipline gates
+//! cargo run -p nucache-audit -- atomics                # atomic-ordering gate
+//! cargo run -p nucache-audit -- locks --update-justify # rewrite concurrency.txt stubs
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
+use nucache_audit::atomics::{run_atomic_lints, ATOMIC_LINTS};
 use nucache_audit::hotpath::{run_effect_lints, Justifications, EFFECT_LINTS};
 use nucache_audit::lints::{current_unwrap_counts, run_lints, Allowlist, LINTS};
+use nucache_audit::locks::{run_lock_lints, CONCURRENCY_HEADER, LOCK_LINTS};
 use nucache_audit::semantic::dead_pub::{self, Baseline};
 use nucache_audit::semantic::{run_semantic_lints, SEMANTIC_LINTS};
 use nucache_audit::{EffectModel, UseGraph, Workspace};
@@ -32,14 +37,19 @@ const BASELINE_REL: &str = "crates/audit/pub_baseline.txt";
 /// Relative location of the hot-path justification ledger.
 const HOTPATH_REL: &str = "crates/audit/hotpath.txt";
 
+/// Relative location of the concurrency (locks + atomics) ledger.
+const CONCURRENCY_REL: &str = nucache_audit::CONCURRENCY_LEDGER;
+
 fn usage() {
     eprintln!(
-        "usage: nucache-audit [lint|graph|effects] [options]\n\
+        "usage: nucache-audit [lint|graph|effects|locks|atomics] [options]\n\
          \n\
          subcommands:\n\
          \x20 lint     run every per-file and workspace lint (the default)\n\
          \x20 graph    print the cross-crate use graph\n\
          \x20 effects  run the flow-aware hot-path contract gates\n\
+         \x20 locks    run the lock-discipline gates (order cycles, double-lock, guard escapes)\n\
+         \x20 atomics  run the atomic-ordering gate\n\
          \n\
          options:\n\
          \x20 --format text|json   output format (default text)\n\
@@ -47,7 +57,8 @@ fn usage() {
          \x20 --lint NAME          run only the named lint(s); repeatable\n\
          \x20 --update-allowlist   rewrite {ALLOWLIST_REL} from current unwrap counts\n\
          \x20 --update-baseline    rewrite {BASELINE_REL} from current dead-pub findings\n\
-         \x20 --update-justify     rewrite {HOTPATH_REL} from current effect findings\n\
+         \x20 --update-justify     rewrite {HOTPATH_REL} (effects) or {CONCURRENCY_REL}\n\
+         \x20                      (locks/atomics, both families) from current findings\n\
          \x20 --list               (effects) print per-function inferred effect sets\n\
          \n\
          exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error\n\
@@ -63,6 +74,10 @@ fn usage() {
     }
     eprintln!("\neffect lints (effects subcommand):");
     for (name, rule) in EFFECT_LINTS {
+        eprintln!("  {name:<28} {rule}");
+    }
+    eprintln!("\nconcurrency lints (locks / atomics subcommands):");
+    for (name, rule) in LOCK_LINTS.iter().chain(ATOMIC_LINTS.iter()) {
         eprintln!("  {name:<28} {rule}");
     }
     eprintln!(
@@ -96,7 +111,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
     };
     let mut args = std::env::args().skip(1).peekable();
     if let Some(first) = args.peek() {
-        if first == "lint" || first == "graph" || first == "effects" {
+        if ["lint", "graph", "effects", "locks", "atomics"].iter().any(|c| c == first) {
             cli.command = args.next().unwrap_or_default();
         }
     }
@@ -104,6 +119,8 @@ fn parse_args() -> Result<Option<Cli>, String> {
         .iter()
         .chain(SEMANTIC_LINTS.iter())
         .chain(EFFECT_LINTS.iter())
+        .chain(LOCK_LINTS.iter())
+        .chain(ATOMIC_LINTS.iter())
         .map(|(name, _)| *name)
         .collect();
     while let Some(arg) = args.next() {
@@ -250,6 +267,68 @@ fn run_effects(cli: &Cli) -> Result<ExitCode, String> {
     Ok(if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// `locks` / `atomics` subcommand body: both families run against the
+/// shared concurrency ledger; `--update-justify` rewrites it from the
+/// union of required entries, the gate reports one family's findings.
+fn run_concurrency(cli: &Cli) -> Result<ExitCode, String> {
+    let ws = Workspace::load(&cli.root).map_err(|e| format!("scanning workspace: {e}"))?;
+    let model = EffectModel::build(&ws);
+
+    let path = cli.root.join(CONCURRENCY_REL);
+    let (just, errors) = Justifications::load(&path);
+    if let Some((line, text)) = errors.first() {
+        return Err(format!("{CONCURRENCY_REL}:{line}: malformed ledger line: {text:?}"));
+    }
+    let (lock_diags, lock_required) = run_lock_lints(&ws, &model, &just);
+    let (atomic_diags, atomic_required) = run_atomic_lints(&ws, &model, &just);
+
+    if cli.update_justify {
+        let mut entries = lock_required;
+        entries.extend(atomic_required);
+        let mut ledger = Justifications { entries };
+        ledger.entries.sort_by(|a, b| {
+            (&a.lint, &a.krate, &a.func, &a.source).cmp(&(&b.lint, &b.krate, &b.func, &b.source))
+        });
+        ledger.entries.dedup();
+        let count = ledger.entries.len();
+        let lints: Vec<(&str, &str)> =
+            LOCK_LINTS.iter().chain(ATOMIC_LINTS.iter()).copied().collect();
+        std::fs::write(&path, ledger.render_with(CONCURRENCY_HEADER, &lints))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {count} entries to {}", path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut diags = if cli.command == "locks" { lock_diags } else { atomic_diags };
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.message).cmp(&(&b.file, b.line, b.lint, &b.message))
+    });
+    if !cli.only.is_empty() {
+        diags.retain(|d| cli.only.iter().any(|n| n == d.lint));
+    }
+    if cli.format == "json" {
+        print!("{}", nucache_audit::diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            let family = if cli.command == "locks" {
+                format!("{} lock lints", LOCK_LINTS.len())
+            } else {
+                format!("{} atomic lint", ATOMIC_LINTS.len())
+            };
+            eprintln!(
+                "nucache-audit: concurrency contracts hold ({family}, {} ledger entries)",
+                just.entries.len()
+            );
+        } else {
+            eprintln!("nucache-audit: {} violation(s)", diags.len());
+        }
+    }
+    Ok(if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
 /// `graph` subcommand body.
 fn run_graph(cli: &Cli) -> Result<ExitCode, String> {
     let ws = Workspace::load(&cli.root).map_err(|e| format!("scanning workspace: {e}"))?;
@@ -275,6 +354,7 @@ fn main() -> ExitCode {
     let result = match cli.command.as_str() {
         "graph" => run_graph(&cli),
         "effects" => run_effects(&cli),
+        "locks" | "atomics" => run_concurrency(&cli),
         _ => run_lint(&cli),
     };
     match result {

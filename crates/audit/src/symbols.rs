@@ -488,6 +488,11 @@ pub fn scan_symbols(rel: &str, source: &str, scanned: &ScannedFile) -> FileSymbo
                         "mod" => SymbolKind::Mod,
                         _ => SymbolKind::Static,
                     };
+                    // `static NAME: Ty = …;` — record the declared type so
+                    // the concurrency lints can recognize lock statics.
+                    let field_type = (kind == SymbolKind::Static)
+                        .then(|| static_type_text(&tokens, j + 2))
+                        .flatten();
                     out.symbols.push(Symbol {
                         name: name.text.clone(),
                         kind,
@@ -498,7 +503,7 @@ pub fn scan_symbols(rel: &str, source: &str, scanned: &ScannedFile) -> FileSymbo
                         parent: parent.clone(),
                         gates,
                         const_value: None,
-                        field_type: None,
+                        field_type,
                     });
                     if kind == SymbolKind::Mod {
                         // `mod name {` opens a module scope; `mod name;` is
@@ -868,6 +873,30 @@ fn parse_field(
     } else {
         k
     }
+}
+
+/// Collects the declared type of a `static NAME: Ty = expr;` item as
+/// whitespace-free text, starting at the expected `:` (token index `i`).
+fn static_type_text(tokens: &[Token], i: usize) -> Option<String> {
+    if !tokens.get(i).is_some_and(|t| t.is_punct(":")) {
+        return None;
+    }
+    let mut k = i + 1;
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "=" | ";" if depth == 0 => break,
+            _ => {}
+        }
+        ty.push_str(&t.text);
+        k += 1;
+    }
+    (!ty.is_empty()).then_some(ty)
 }
 
 /// Evaluates a `: Ty = expr;` tail starting at the `:` (token index `i`),

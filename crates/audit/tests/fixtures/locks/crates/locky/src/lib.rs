@@ -1,0 +1,89 @@
+//! Lock-discipline fixture: two mutexes and an atomic exercised in
+//! every forbidden pattern — an AB/BA ordering cycle (`ab`/`ba`), a
+//! self-deadlock (`twice`), an interprocedural re-acquisition
+//! (`reenter` through `take_a`), an interprocedural ordering edge
+//! (`outer` through `take_b`), a guard escaping an annotated hot path
+//! (`peek`), and an unpaired Relaxed/Acquire mix on the atomic
+//! (`publish`/`consume`). `good` is the drop-disciplined control: it
+//! must stay invisible to every lint.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Two locks and an atomic, shared by every seeded pattern.
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: AtomicUsize,
+}
+
+impl Pair {
+    /// A then B: one half of the seeded ordering cycle.
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    /// B then A: the other half of the cycle.
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+
+    /// Seeded self-deadlock: re-locks `a` while the first guard lives.
+    pub fn twice(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        let h = self.a.lock().unwrap();
+        *g + *h
+    }
+
+    /// Interprocedural self-deadlock: the re-acquisition hides in a
+    /// callee.
+    pub fn reenter(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        *g + self.take_a()
+    }
+
+    fn take_a(&self) -> u64 {
+        *self.a.lock().unwrap()
+    }
+
+    /// Interprocedural ordering edge: holds `a`, takes `b` in a callee.
+    pub fn outer(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        *g + self.take_b()
+    }
+
+    fn take_b(&self) -> u64 {
+        *self.b.lock().unwrap()
+    }
+
+    // audit:hot-path
+    /// Guard-getter on the annotated hot path: the guard escapes.
+    pub fn peek(&self) -> MutexGuard<'_, u64> {
+        self.a.lock().unwrap()
+    }
+
+    /// Drop-disciplined control: releases `a` before touching `b`.
+    pub fn good(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        let v = *g;
+        drop(g);
+        let h = self.b.lock().unwrap();
+        v + *h
+    }
+
+    /// Relaxed publish read by an Acquire load and never released:
+    /// the unpaired half of the seeded ordering mix.
+    pub fn publish(&self, v: usize) {
+        self.c.store(v, Ordering::Relaxed);
+    }
+
+    /// The consuming side of the unpaired mix.
+    pub fn consume(&self) -> usize {
+        self.c.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,1092 @@
+//! Loom-lite bounded interleaving explorer for model-checking the
+//! workspace's concurrency seams.
+//!
+//! [`explore`] runs a model function many times, once per distinct
+//! thread interleaving, under a cooperative scheduler that allows
+//! exactly one model thread to run at a time. Every operation on the
+//! shim types ([`Mutex`], [`AtomicUsize`], [`AtomicBool`], [`Once`],
+//! [`spawn`]/[`JoinHandle::join`]) is a *scheduling point*: the
+//! scheduler decides which runnable thread proceeds, and a depth-first
+//! search over those decisions enumerates every schedule with at most
+//! [`Explorer::preemption_bound`] preemptions (a preemption is choosing
+//! to switch away from a thread that could have kept running; forced
+//! switches at blocking operations are free). Bounding preemptions is
+//! the classic CHESS result: almost every concurrency bug manifests
+//! within two preemptions, while the bounded schedule space stays
+//! enumerable.
+//!
+//! The search is deterministic — the first schedule is always
+//! run-to-completion in spawn order, and backtracking visits
+//! alternatives in a fixed (optionally seeded) order — so a failing
+//! schedule reproduces exactly and the explored-schedule count is
+//! stable across runs. Code between two scheduling points runs
+//! atomically with respect to the model, which is sound as long as all
+//! cross-thread communication goes through the shim types.
+//!
+//! Failure modes all panic with the offending schedule: an assertion
+//! failure inside a model thread (unless the panic is consumed via
+//! [`JoinHandle::join`], which poison-recovery models do deliberately),
+//! a deadlock (every live thread blocked), a re-entrant `lock` by the
+//! owning thread, and a nondeterministic model (a replayed decision no
+//! longer matches the enabled set).
+//!
+//! # Examples
+//!
+//! ```
+//! use nucache_common::interleave::{self, Explorer};
+//! use std::sync::Arc;
+//!
+//! let stats = Explorer::default().explore(|| {
+//!     let lock = Arc::new(interleave::Mutex::new(0u64));
+//!     let t = {
+//!         let lock = Arc::clone(&lock);
+//!         interleave::spawn(move || {
+//!             *lock.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+//!         })
+//!     };
+//!     *lock.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*lock.lock().unwrap_or_else(|e| e.into_inner()), 2);
+//! });
+//! assert!(stats.schedules >= 2, "both acquisition orders explored");
+//! ```
+
+use crate::rng::DetRng;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+
+/// Default preemption bound: two preemptions reach the overwhelming
+/// majority of concurrency bugs (CHESS) while keeping exploration of
+/// the workspace seams in the hundreds-of-schedules range.
+pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// Safety valve on the number of schedules one [`explore`] call may
+/// run; exceeding it is a model-size bug, not a soundness issue, and
+/// panics rather than spinning CI forever.
+pub const MAX_SCHEDULES: usize = 65536;
+
+/// Most model threads (including the root) one execution may register.
+pub const MAX_MODEL_THREADS: usize = 8;
+
+thread_local! {
+    /// The scheduler + thread id of the model thread running on this OS
+    /// thread, set for the duration of one execution.
+    static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind model threads out of an aborted
+/// execution (deadlock / nondeterminism); never surfaced to the user.
+const ABORT_PAYLOAD: &str = "interleave-abort";
+
+fn current() -> (Arc<Sched>, usize) {
+    CURRENT.with(|c| match c.borrow().as_ref() {
+        Some((sched, tid)) => (Arc::clone(sched), *tid),
+        None => panic!("interleave shim types may only be used inside explore()"),
+    })
+}
+
+/// Run state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// What a blocked model thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resource {
+    /// A shim mutex, by registration id.
+    Lock(usize),
+    /// Another model thread finishing, by thread id.
+    Join(usize),
+}
+
+/// One recorded scheduling decision (only points with ≥ 2 enabled
+/// threads are recorded — they are the branch points of the search).
+#[derive(Debug, Clone)]
+struct Decision {
+    /// Runnable thread ids at the decision, ascending.
+    enabled: Vec<usize>,
+    /// Thread that was running when the decision was taken.
+    current: usize,
+    /// Index into `enabled` of the thread chosen.
+    chosen: usize,
+}
+
+/// Model state of one shim mutex.
+#[derive(Debug, Default, Clone, Copy)]
+struct LockState {
+    owner: Option<usize>,
+    poisoned: bool,
+}
+
+/// Shared scheduler state for one execution.
+#[derive(Debug)]
+struct State {
+    threads: Vec<Run>,
+    current: usize,
+    /// Thread ids to choose at each recorded decision, from the driver.
+    replay: Vec<usize>,
+    trace: Vec<Decision>,
+    locks: Vec<LockState>,
+    abort: Option<String>,
+    /// Per thread: panicked, and whether the panic was consumed by join.
+    panicked: Vec<bool>,
+    joined: Vec<bool>,
+    /// OS handles of spawned (non-root) model threads, drained by the driver.
+    handles: Vec<std::thread::JoinHandle<()>>,
+    root_panic: Option<String>,
+}
+
+/// The per-execution cooperative scheduler.
+#[derive(Debug)]
+struct Sched {
+    state: StdMutex<State>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new(replay: Vec<usize>) -> Sched {
+        Sched {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                current: 0,
+                replay,
+                trace: Vec::new(),
+                locks: Vec::new(),
+                abort: None,
+                panicked: Vec::new(),
+                joined: Vec::new(),
+                handles: Vec::new(),
+                root_panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn st(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = self.st();
+        let tid = st.threads.len();
+        assert!(tid < MAX_MODEL_THREADS, "model spawned more than {MAX_MODEL_THREADS} threads");
+        st.threads.push(Run::Runnable);
+        st.panicked.push(false);
+        st.joined.push(false);
+        tid
+    }
+
+    fn register_lock(&self) -> usize {
+        let mut st = self.st();
+        st.locks.push(LockState::default());
+        st.locks.len() - 1
+    }
+
+    /// Picks the next thread to run among the runnable set, recording a
+    /// decision when there is a real choice. Returns `None` when no
+    /// thread is runnable (all finished, or deadlock).
+    fn pick(&self, st: &mut State) -> Option<usize> {
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Run::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            return None;
+        }
+        if enabled.len() == 1 {
+            return Some(enabled[0]);
+        }
+        let k = st.trace.len();
+        let chosen_tid = if let Some(&want) = st.replay.get(k) {
+            if !enabled.contains(&want) {
+                st.abort = Some(format!(
+                    "nondeterministic model: replayed choice t{want} not in enabled set {enabled:?}"
+                ));
+                self.cv.notify_all();
+                return Some(st.current);
+            }
+            want
+        } else if enabled.contains(&st.current) {
+            st.current
+        } else {
+            enabled[0]
+        };
+        let chosen = enabled.iter().position(|&t| t == chosen_tid).unwrap_or(0);
+        st.trace.push(Decision { enabled, current: st.current, chosen });
+        Some(chosen_tid)
+    }
+
+    /// Aborts the execution if an abort is pending, unwinding this
+    /// model thread. Must be called without the state lock held.
+    fn bail(&self) -> ! {
+        std::panic::panic_any(ABORT_PAYLOAD);
+    }
+
+    /// A scheduling point for a runnable thread: decide who runs next,
+    /// hand over if it isn't us, and wait for our turn back.
+    fn schedule_point(&self, me: usize) {
+        let mut st = self.st();
+        if st.abort.is_some() {
+            drop(st);
+            self.bail();
+        }
+        // `me` is runnable, so pick() always finds someone.
+        let next = self.pick(&mut st).unwrap_or(me);
+        if next != me {
+            st.current = next;
+            self.cv.notify_all();
+            while st.current != me {
+                if st.abort.is_some() {
+                    drop(st);
+                    self.bail();
+                }
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        } else {
+            st.current = next;
+        }
+    }
+
+    /// Blocks `me` on `res`: hand control to another thread (or declare
+    /// deadlock) and wait until we are runnable *and* scheduled again.
+    fn block(&self, me: usize, res: Resource) {
+        let mut st = self.st();
+        st.threads[me] = Run::Blocked(res);
+        match self.pick(&mut st) {
+            Some(next) => {
+                st.current = next;
+                self.cv.notify_all();
+            }
+            None => {
+                st.abort = Some(format!(
+                    "deadlock: every live thread is blocked (thread {me} on {res:?})"
+                ));
+                self.cv.notify_all();
+            }
+        }
+        while st.current != me || st.threads[me] != Run::Runnable {
+            if st.abort.is_some() {
+                drop(st);
+                self.bail();
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, hands control onward.
+    fn finish(&self, me: usize, panicked: bool) {
+        let mut st = self.st();
+        st.threads[me] = Run::Finished;
+        st.panicked[me] = panicked;
+        for i in 0..st.threads.len() {
+            if st.threads[i] == Run::Blocked(Resource::Join(me)) {
+                st.threads[i] = Run::Runnable;
+            }
+        }
+        if st.abort.is_none() {
+            if let Some(next) = self.pick(&mut st) {
+                st.current = next;
+            } else if st.threads.iter().any(|r| matches!(r, Run::Blocked(_))) {
+                st.abort =
+                    Some(format!("deadlock: thread {me} finished with every other thread blocked"));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// First wait of a freshly spawned thread: block until scheduled.
+    fn wait_for_turn(&self, me: usize) {
+        let mut st = self.st();
+        while st.current != me {
+            if st.abort.is_some() {
+                drop(st);
+                self.bail();
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as a message string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_string())
+}
+
+fn is_abort_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<&str>().is_some_and(|s| *s == ABORT_PAYLOAD)
+}
+
+// ---------------------------------------------------------------------------
+// Shim types
+// ---------------------------------------------------------------------------
+
+/// A model mutex: mutual exclusion and poisoning semantics of
+/// [`std::sync::Mutex`], with every `lock` a scheduling point.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    sched: Arc<Sched>,
+    id: usize,
+    data: StdMutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it (drop) wakes blocked
+/// contenders and poisons the model mutex when dropped during a panic.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Creates a model mutex. Must be called inside [`explore`].
+    pub fn new(value: T) -> Mutex<T> {
+        let (sched, _) = current();
+        let id = sched.register_lock();
+        Mutex { sched, id, data: StdMutex::new(value) }
+    }
+
+    /// Acquires the mutex, blocking (in model time) while another model
+    /// thread holds it. Mirrors `std`: a poisoned mutex still locks but
+    /// hands the guard back inside `Err(PoisonError)`.
+    ///
+    /// # Panics
+    ///
+    /// Aborts the schedule if the owning thread re-locks (self-deadlock).
+    #[allow(clippy::type_complexity)]
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
+        let (sched, me) = current();
+        sched.schedule_point(me);
+        loop {
+            let mut st = sched.st();
+            if st.abort.is_some() {
+                drop(st);
+                sched.bail();
+            }
+            let ls = &mut st.locks[self.id];
+            match ls.owner {
+                None => {
+                    ls.owner = Some(me);
+                    let poisoned = ls.poisoned;
+                    drop(st);
+                    let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                    let guard = MutexGuard { lock: self, inner: Some(inner) };
+                    return if poisoned { Err(PoisonError::new(guard)) } else { Ok(guard) };
+                }
+                Some(owner) if owner == me => {
+                    st.abort = Some(format!(
+                        "self-deadlock: thread {me} re-locks a mutex it already holds"
+                    ));
+                    sched.cv.notify_all();
+                    drop(st);
+                    sched.bail();
+                }
+                Some(_) => {
+                    drop(st);
+                    sched.block(me, Resource::Lock(self.id));
+                }
+            }
+        }
+    }
+
+    /// Whether a panic has poisoned this mutex (model-level flag).
+    pub fn is_poisoned(&self) -> bool {
+        self.sched.st().locks[self.id].poisoned
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self.inner.as_ref() {
+            Some(g) => g,
+            None => unreachable!("guard taken"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self.inner.as_mut() {
+            Some(g) => g,
+            None => unreachable!("guard taken"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the inner std guard before touching scheduler state.
+        self.inner.take();
+        let mut st = self.lock.sched.st();
+        let panicking = std::thread::panicking();
+        let ls = &mut st.locks[self.lock.id];
+        ls.owner = None;
+        if panicking {
+            ls.poisoned = true;
+        }
+        for i in 0..st.threads.len() {
+            if st.threads[i] == Run::Blocked(Resource::Lock(self.lock.id)) {
+                st.threads[i] = Run::Runnable;
+            }
+        }
+        self.lock.sched.cv.notify_all();
+    }
+}
+
+macro_rules! shim_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            sched: Arc<Sched>,
+            v: $std,
+        }
+
+        impl $name {
+            /// Creates the shim atomic. Must be called inside [`explore`].
+            pub fn new(value: $prim) -> $name {
+                let (sched, _) = current();
+                $name { sched, v: <$std>::new(value) }
+            }
+
+            fn point(&self) {
+                let (_, me) = current();
+                self.sched.schedule_point(me);
+            }
+
+            /// Atomic load; the `Ordering` is accepted for API parity and
+            /// modeled as sequentially consistent.
+            pub fn load(&self, _order: Ordering) -> $prim {
+                self.point();
+                self.v.load(Ordering::SeqCst)
+            }
+
+            /// Atomic store (modeled sequentially consistent).
+            pub fn store(&self, value: $prim, _order: Ordering) {
+                self.point();
+                self.v.store(value, Ordering::SeqCst);
+            }
+
+            /// Atomic swap (modeled sequentially consistent).
+            pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                self.point();
+                self.v.swap(value, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+shim_atomic!(
+    /// A model [`std::sync::atomic::AtomicUsize`]: every operation is a
+    /// scheduling point; orderings are modeled as `SeqCst`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+shim_atomic!(
+    /// A model [`std::sync::atomic::AtomicBool`]: every operation is a
+    /// scheduling point; orderings are modeled as `SeqCst`.
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+
+impl AtomicUsize {
+    /// Atomic fetch-add (modeled sequentially consistent).
+    pub fn fetch_add(&self, value: usize, _order: Ordering) -> usize {
+        self.point();
+        self.v.fetch_add(value, Ordering::SeqCst)
+    }
+
+    /// Atomic compare-exchange (modeled sequentially consistent).
+    pub fn compare_exchange(
+        &self,
+        expected: usize,
+        new: usize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.point();
+        self.v.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+/// A model [`std::sync::Once`]: `call_once` runs the closure exactly
+/// once; concurrent callers block (in model time) until it completes.
+#[derive(Debug)]
+pub struct Once {
+    done: Mutex<bool>,
+}
+
+impl Once {
+    /// Creates the shim. Must be called inside [`explore`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Once {
+        Once { done: Mutex::new(false) }
+    }
+
+    /// Runs `f` if no call has completed yet, holding the internal lock
+    /// so racing callers observe completed initialization.
+    pub fn call_once(&self, f: impl FnOnce()) {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        if !*done {
+            f();
+            *done = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Handle to a model thread started with [`spawn`].
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<Result<T, String>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the thread to finish. A panicking
+    /// thread yields `Err` with its panic message — consuming it this
+    /// way marks the panic as expected (poison-recovery models rely on
+    /// this), while an unconsumed panic fails the whole exploration.
+    pub fn join(self) -> Result<T, String> {
+        let (sched, me) = current();
+        sched.schedule_point(me);
+        loop {
+            let mut st = sched.st();
+            if st.abort.is_some() {
+                drop(st);
+                sched.bail();
+            }
+            if st.threads[self.tid] == Run::Finished {
+                st.joined[self.tid] = true;
+                drop(st);
+                break;
+            }
+            drop(st);
+            sched.block(me, Resource::Join(self.tid));
+        }
+        let taken = self.result.lock().unwrap_or_else(PoisonError::into_inner).take();
+        match taken {
+            Some(outcome) => outcome,
+            None => Err("model thread finished without storing a result".to_string()),
+        }
+    }
+}
+
+/// Spawns a model thread running `f`. The spawn itself is a scheduling
+/// point, so the child may run before the parent's next operation.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (sched, me) = current();
+    let tid = sched.register_thread();
+    let result: Arc<StdMutex<Option<Result<T, String>>>> = Arc::new(StdMutex::new(None));
+    let os = {
+        let sched = Arc::clone(&sched);
+        let result = Arc::clone(&result);
+        let spawned =
+            std::thread::Builder::new().name(format!("interleave-{tid}")).spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), tid)));
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    sched.wait_for_turn(tid);
+                    f()
+                }));
+                let panicked =
+                    run.is_err() && !run.as_ref().is_err_and(|p| is_abort_payload(p.as_ref()));
+                let stored = match run {
+                    Ok(v) => Ok(v),
+                    Err(p) => Err(panic_message(p.as_ref())),
+                };
+                *result.lock().unwrap_or_else(PoisonError::into_inner) = Some(stored);
+                sched.finish(tid, panicked);
+                CURRENT.with(|c| *c.borrow_mut() = None);
+            });
+        match spawned {
+            Ok(h) => h,
+            Err(e) => panic!("interleave: spawning an OS thread failed: {e}"),
+        }
+    };
+    sched.st().handles.push(os);
+    sched.schedule_point(me);
+    JoinHandle { tid, result }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer (driver)
+// ---------------------------------------------------------------------------
+
+/// Exploration summary returned by [`explore`] / [`Explorer::explore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// The preemption bound the search ran under.
+    pub preemption_bound: usize,
+    /// Deepest decision count of any schedule.
+    pub max_decisions: usize,
+}
+
+/// One branch point of the depth-first search, persisted across
+/// executions.
+struct Frame {
+    enabled: Vec<usize>,
+    current: usize,
+    /// Alternative order: indices into `enabled`, default choice first.
+    order: Vec<usize>,
+    /// Position in `order` currently being explored.
+    pos: usize,
+}
+
+impl Frame {
+    /// Preemption cost of alternative `pos`: 1 when switching away from
+    /// a thread that could have kept running.
+    fn cost(&self, pos: usize) -> usize {
+        let tid = self.enabled[self.order[pos]];
+        usize::from(self.enabled.contains(&self.current) && tid != self.current)
+    }
+}
+
+/// Result of one execution.
+struct Outcome {
+    trace: Vec<Decision>,
+    abort: Option<String>,
+    root_panic: Option<String>,
+    unjoined: Vec<(usize, String)>,
+}
+
+/// The bounded interleaving explorer. Construct with
+/// [`Explorer::default`] and adjust the bound/seed as needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explorer {
+    /// Maximum preemptions per schedule ([`DEFAULT_PREEMPTION_BOUND`]).
+    pub preemption_bound: usize,
+    /// Schedule budget before the search panics ([`MAX_SCHEDULES`]).
+    pub max_schedules: usize,
+    /// Seed permuting the order alternatives are visited in (coverage
+    /// is exhaustive either way; the seed only changes visit order).
+    pub seed: u64,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer {
+            preemption_bound: DEFAULT_PREEMPTION_BOUND,
+            max_schedules: MAX_SCHEDULES,
+            seed: 0,
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer with a specific preemption bound.
+    pub fn with_bound(bound: usize) -> Explorer {
+        Explorer { preemption_bound: bound, ..Explorer::default() }
+    }
+
+    /// A seeded explorer: same exhaustive coverage, different DFS order.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64) -> Explorer {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs `f` under every schedule with at most `preemption_bound`
+    /// preemptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any schedule fails: a model-thread panic that no
+    /// `join` consumed, a deadlock, a re-entrant lock, a
+    /// nondeterministic model, or the schedule budget being exceeded.
+    /// The panic message carries the offending schedule as the chosen
+    /// thread id per decision point.
+    pub fn explore<F>(&self, f: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut schedules = 0usize;
+        let mut max_decisions = 0usize;
+        loop {
+            schedules += 1;
+            assert!(
+                schedules <= self.max_schedules,
+                "interleave: schedule budget ({}) exceeded — shrink the model or raise max_schedules",
+                self.max_schedules
+            );
+            let replay: Vec<usize> = stack.iter().map(|fr| fr.enabled[fr.order[fr.pos]]).collect();
+            let out = run_once(&f, replay.clone());
+            let schedule = render_schedule(&out.trace);
+            if let Some(msg) = &out.abort {
+                panic!("interleave: {msg}; schedule {schedule}");
+            }
+            if let Some(msg) = &out.root_panic {
+                panic!("interleave: root model thread panicked: {msg}; schedule {schedule}");
+            }
+            if let Some((tid, msg)) = out.unjoined.first() {
+                panic!(
+                    "interleave: model thread {tid} panicked without being joined: {msg}; \
+                     schedule {schedule}"
+                );
+            }
+            max_decisions = max_decisions.max(out.trace.len());
+            // Extend the stack with the fresh decisions this run took
+            // past the replayed prefix.
+            let mut rng = DetRng::substream(self.seed, stack.len() as u64);
+            for d in out.trace.iter().skip(stack.len()) {
+                let mut rest: Vec<usize> =
+                    (0..d.enabled.len()).filter(|&i| i != d.chosen).collect();
+                if self.seed != 0 {
+                    // Fisher–Yates over the non-default alternatives.
+                    for i in (1..rest.len()).rev() {
+                        let j = rng.index(i + 1);
+                        rest.swap(i, j);
+                    }
+                }
+                let mut order = Vec::with_capacity(d.enabled.len());
+                order.push(d.chosen);
+                order.extend(rest);
+                stack.push(Frame { enabled: d.enabled.clone(), current: d.current, order, pos: 0 });
+            }
+            // Backtrack: advance the deepest frame that still has an
+            // alternative within the preemption budget.
+            'backtrack: loop {
+                let Some(top) = stack.last() else {
+                    return Stats {
+                        schedules,
+                        preemption_bound: self.preemption_bound,
+                        max_decisions,
+                    };
+                };
+                let used_below: usize =
+                    stack[..stack.len() - 1].iter().map(|fr| fr.cost(fr.pos)).sum();
+                let mut next = top.pos + 1;
+                while next < top.order.len() {
+                    if used_below + top.cost(next) <= self.preemption_bound {
+                        break;
+                    }
+                    next += 1;
+                }
+                if next < top.order.len() {
+                    let last = stack.len() - 1;
+                    stack[last].pos = next;
+                    break 'backtrack;
+                }
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Renders a trace as the chosen thread per decision, e.g. `[0 1 1 0]`.
+fn render_schedule(trace: &[Decision]) -> String {
+    let ids: Vec<String> = trace.iter().map(|d| d.enabled[d.chosen].to_string()).collect();
+    format!("[{}]", ids.join(" "))
+}
+
+/// Explores `f` with the default explorer (bound
+/// [`DEFAULT_PREEMPTION_BOUND`]).
+pub fn explore<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Explorer::default().explore(f)
+}
+
+/// Runs one execution of the model under `replay`, collecting the trace.
+fn run_once<F>(f: &Arc<F>, replay: Vec<usize>) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Arc::new(Sched::new(replay));
+    let root_tid = sched.register_thread();
+    let root = {
+        let sched = Arc::clone(&sched);
+        let f = Arc::clone(f);
+        let spawned =
+            std::thread::Builder::new().name("interleave-root".to_string()).spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), root_tid)));
+                let run = catch_unwind(AssertUnwindSafe(|| f()));
+                let (panicked, msg) = match &run {
+                    Ok(()) => (false, None),
+                    Err(p) if is_abort_payload(p.as_ref()) => (false, None),
+                    Err(p) => (true, Some(panic_message(p.as_ref()))),
+                };
+                if let Some(msg) = msg {
+                    sched.st().root_panic = Some(msg);
+                }
+                sched.finish(root_tid, panicked);
+                CURRENT.with(|c| *c.borrow_mut() = None);
+            });
+        match spawned {
+            Ok(h) => h,
+            Err(e) => panic!("interleave: spawning the root thread failed: {e}"),
+        }
+    };
+    let _ = root.join();
+    // Children may still be running (or newly spawned); drain until the
+    // handle registry stays empty.
+    loop {
+        let handles: Vec<std::thread::JoinHandle<()>> = std::mem::take(&mut sched.st().handles);
+        if handles.is_empty() {
+            break;
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    let st = sched.st();
+    let unjoined: Vec<(usize, String)> = st
+        .panicked
+        .iter()
+        .enumerate()
+        .filter(|&(tid, &p)| p && tid != 0 && !st.joined[tid])
+        .map(|(tid, _)| (tid, format!("thread {tid}")))
+        .collect();
+    Outcome {
+        trace: st.trace.clone(),
+        abort: st.abort.clone(),
+        root_panic: st.root_panic.clone(),
+        unjoined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_model_runs_once() {
+        let stats = explore(|| {
+            let m = Mutex::new(1u64);
+            *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        });
+        assert_eq!(stats.schedules, 1, "no branch points, one schedule");
+    }
+
+    #[test]
+    fn two_increments_never_lose_an_update() {
+        let stats = explore(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let t = {
+                let n = Arc::clone(&n);
+                spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            };
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join().map_err(|e| e.to_string()).ok();
+            let total = n.load(Ordering::SeqCst);
+            assert!(total == 1 || total == 2, "non-atomic increment loses at most one update");
+        });
+        assert!(stats.schedules > 1, "interleavings were explored: {stats:?}");
+    }
+
+    #[test]
+    fn unsynchronized_increment_bug_is_found() {
+        // The load/store race above CAN lose an update; asserting it
+        // never does must fail, proving the explorer finds the bug.
+        let caught = catch_unwind(|| {
+            explore(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let t = {
+                    let n = Arc::clone(&n);
+                    spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                };
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                let _ = t.join();
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        let msg = panic_message(caught.expect_err("the lost update must be found").as_ref());
+        assert!(msg.contains("lost update"), "explorer surfaces the failing assertion: {msg}");
+    }
+
+    #[test]
+    fn mutexed_increments_hold_under_full_exploration() {
+        let stats = Explorer::with_bound(3).explore(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let mk = |m: &Arc<Mutex<u64>>| {
+                let m = Arc::clone(m);
+                spawn(move || {
+                    let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                    *g += 1;
+                })
+            };
+            let a = mk(&m);
+            let b = mk(&m);
+            a.join().map_err(|e| e.to_string()).ok();
+            b.join().map_err(|e| e.to_string()).ok();
+            assert_eq!(*m.lock().unwrap_or_else(PoisonError::into_inner), 2);
+        });
+        assert!(stats.schedules >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn ab_ba_deadlock_is_detected() {
+        let caught = catch_unwind(|| {
+            explore(|| {
+                let a = Arc::new(Mutex::new(0u64));
+                let b = Arc::new(Mutex::new(0u64));
+                let t = {
+                    let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                    spawn(move || {
+                        let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+                        let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+                    })
+                };
+                let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+                let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+                drop((_ga, _gb));
+                let _ = t.join();
+            });
+        });
+        let msg = panic_message(caught.expect_err("AB/BA must deadlock somewhere").as_ref());
+        assert!(msg.contains("deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn reentrant_lock_is_detected() {
+        let caught = catch_unwind(|| {
+            explore(|| {
+                let m = Mutex::new(0u64);
+                let _g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                let _h = m.lock().unwrap_or_else(PoisonError::into_inner);
+            });
+        });
+        let msg = panic_message(caught.expect_err("re-entrant lock must abort").as_ref());
+        assert!(msg.contains("self-deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn panic_while_holding_poisons_and_join_consumes_it() {
+        explore(|| {
+            let m = Arc::new(Mutex::new(7u64));
+            let t = {
+                let m = Arc::clone(&m);
+                spawn(move || {
+                    let _g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                    panic!("deliberate poison");
+                })
+            };
+            let joined = t.join();
+            assert!(joined.is_err(), "panic surfaces through join");
+            // The mutex may or may not be poisoned yet depending on the
+            // schedule, but once the panicking thread is joined it must be.
+            assert!(m.is_poisoned());
+            let v = *m.lock().unwrap_or_else(PoisonError::into_inner);
+            assert_eq!(v, 7, "data survives poisoning");
+        });
+    }
+
+    #[test]
+    fn unjoined_panic_fails_the_exploration() {
+        let caught = catch_unwind(|| {
+            explore(|| {
+                let _t = spawn(|| panic!("dropped on the floor"));
+            });
+        });
+        let msg = panic_message(caught.expect_err("unjoined panic must fail").as_ref());
+        assert!(msg.contains("without being joined"), "{msg}");
+    }
+
+    #[test]
+    fn once_runs_exactly_once_under_contention() {
+        explore(|| {
+            let once = Arc::new(Once::new());
+            let calls = Arc::new(AtomicUsize::new(0));
+            let mk = |once: &Arc<Once>, calls: &Arc<AtomicUsize>| {
+                let (once, calls) = (Arc::clone(once), Arc::clone(calls));
+                spawn(move || {
+                    once.call_once(|| {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                    });
+                })
+            };
+            let a = mk(&once, &calls);
+            let b = mk(&once, &calls);
+            a.join().map_err(|e| e.to_string()).ok();
+            b.join().map_err(|e| e.to_string()).ok();
+            assert_eq!(calls.load(Ordering::SeqCst), 1);
+        });
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let model = || {
+            let m = Arc::new(Mutex::new(0u64));
+            let t = {
+                let m = Arc::clone(&m);
+                spawn(move || {
+                    *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+                })
+            };
+            *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+            t.join().map_err(|e| e.to_string()).ok();
+        };
+        let a = explore(model);
+        let b = explore(model);
+        assert_eq!(a, b, "same model, same bound, same schedule count");
+        let seeded = Explorer::default().seeded(0x5eed).explore(model);
+        assert_eq!(seeded.schedules, a.schedules, "seeding permutes visit order, not coverage");
+    }
+
+    #[test]
+    fn preemption_bound_trims_the_schedule_space() {
+        let model = || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let mk = |n: &Arc<AtomicUsize>| {
+                let n = Arc::clone(n);
+                spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            };
+            let a = mk(&n);
+            let b = mk(&n);
+            a.join().map_err(|e| e.to_string()).ok();
+            b.join().map_err(|e| e.to_string()).ok();
+            assert_eq!(n.load(Ordering::SeqCst), 4);
+        };
+        let tight = Explorer::with_bound(0).explore(model);
+        let wide = Explorer::with_bound(2).explore(model);
+        assert!(
+            tight.schedules < wide.schedules,
+            "bound 0 ({}) explores fewer schedules than bound 2 ({})",
+            tight.schedules,
+            wide.schedules
+        );
+    }
+}

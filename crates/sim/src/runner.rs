@@ -823,6 +823,25 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_cache_yields_the_same_results_as_a_fresh_runner() {
+        let config = SimConfig::demo();
+        let runner = Runner::new(config);
+        // A job panics while holding the memoization lock; the
+        // PoisonError::into_inner recovery path must not change what
+        // later lookups return.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = runner.solo_cache.cells();
+            panic!("job died holding the cells lock");
+        }));
+        assert!(runner.solo_cache.cells.is_poisoned(), "lock is poisoned");
+        let fresh = Runner::new(config);
+        for w in [SpecWorkload::HmmerLike, SpecWorkload::GobmkLike] {
+            assert_eq!(runner.solo(w), fresh.solo(w), "poison recovery changed {w:?}");
+        }
+        assert_eq!(runner.solo_cache.snapshot(), fresh.solo_cache.snapshot());
+    }
+
+    #[test]
     fn grid_matches_serial_evaluator() {
         let config = SimConfig::demo();
         let mixes = [
