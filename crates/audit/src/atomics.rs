@@ -19,7 +19,7 @@
 
 use crate::diag::{Diagnostic, Severity};
 use crate::effects::{EffectModel, FnInfo};
-use crate::hotpath::{Justification, Justifications};
+use crate::hotpath::{Justification, Justifications, STUB_REASON};
 use crate::locks::{receiver_segments, resolve_identity, LockUniverse, CONCURRENCY_LEDGER};
 use crate::resolve::Workspace;
 use crate::symbols::{TokKind, Token};
@@ -152,10 +152,29 @@ pub fn run_atomic_lints(
         ops.extend(atomic_ops(&ws.files[f.file].tokens, fi, f, &uni));
     }
 
+    // A covering entry whose reason is still the `--update-justify`
+    // stub is a hard finding: a stub is scaffolding, not a
+    // justification. (Collected separately because `diags` is also
+    // pushed to between `require` calls.)
+    let mut stub_diags: Vec<Diagnostic> = Vec::new();
     let mut require = |f: &FnInfo, source: &str| -> bool {
         let covered = just.covers("atomic-ordering", &f.crate_name, &f.qualified(), source);
         if let Some(i) = covered {
             used.insert(i);
+            if just.entries[i].reason == STUB_REASON {
+                stub_diags.push(Diagnostic {
+                    file: ws.files[f.file].rel.clone(),
+                    line: f.span.line,
+                    lint: "stub-justification",
+                    message: format!(
+                        "ledger entry `atomic-ordering {} {} {source}` still carries the \
+                         `--update-justify` stub reason; write a real justification",
+                        f.crate_name,
+                        f.qualified()
+                    ),
+                    severity: Severity::Error,
+                });
+            }
         }
         let entry = match covered {
             Some(i) => just.entries[i].clone(),
@@ -165,7 +184,7 @@ pub fn run_atomic_lints(
                 func: f.qualified(),
                 source: source.to_string(),
                 tag: None,
-                reason: "TODO: justify".to_string(),
+                reason: STUB_REASON.to_string(),
             },
         };
         if !required.contains(&entry) {
@@ -238,6 +257,8 @@ pub fn run_atomic_lints(
             });
         }
     }
+
+    diags.extend(stub_diags);
 
     // Stale entries among the atomic lints are findings, same contract
     // as the hotpath ledger.

@@ -49,6 +49,14 @@ pub const EFFECT_LINTS: &[(&str, &str)] = &[
 /// Effects that must not happen while a lock guard is live.
 const GUARD_MASK: EffectSet = EffectSet(EffectSet::ALLOC.0 | EffectSet::LOCK.0 | EffectSet::IO.0);
 
+/// The placeholder reason `--update-justify` writes for new findings.
+///
+/// A ledger entry still carrying this literal is a hard
+/// `stub-justification` finding in every gate that consults the ledger:
+/// the scaffolding flow is *stub, then hand-write the reason*, and an
+/// unedited stub would otherwise silently pass as a justification.
+pub const STUB_REASON: &str = "TODO: justify";
+
 /// One justification-file entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Justification {
@@ -203,12 +211,27 @@ impl Cx<'_> {
     }
 
     /// Records a required ledger entry (deduplicated), returning whether
-    /// the current ledger already covers it.
+    /// the current ledger already covers it. A covering entry whose
+    /// reason is still the [`STUB_REASON`] placeholder is flagged as a
+    /// hard finding: a stub is scaffolding, not a justification.
     fn require(&mut self, lint: &str, f: &FnInfo, source: &str) -> bool {
         let func = f.qualified();
         let covered = self.just.covers(lint, &f.crate_name, &func, source);
         if let Some(i) = covered {
             self.used.insert(i);
+            if self.just.entries[i].reason == STUB_REASON {
+                let line = f.span.line;
+                self.diag(
+                    "stub-justification",
+                    f,
+                    line,
+                    format!(
+                        "ledger entry `{lint} {} {func} {source}` still carries the \
+                         `--update-justify` stub reason; write a real justification",
+                        f.crate_name
+                    ),
+                );
+            }
         }
         let entry = match covered {
             Some(i) => self.just.entries[i].clone(),
@@ -218,7 +241,7 @@ impl Cx<'_> {
                 func,
                 source: source.to_string(),
                 tag: None,
-                reason: "TODO: justify".to_string(),
+                reason: STUB_REASON.to_string(),
             },
         };
         if !self.required.contains(&entry) {

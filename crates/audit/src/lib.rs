@@ -68,7 +68,7 @@ pub use cfg::{build_cfg, fn_spans, Cfg, FnSpan};
 pub use diag::{Diagnostic, Severity};
 pub use effects::{EffectModel, EffectSet, FnInfo};
 pub use graph::UseGraph;
-pub use hotpath::{run_effect_lints, Justifications, EFFECT_LINTS};
+pub use hotpath::{run_effect_lints, Justifications, EFFECT_LINTS, STUB_REASON};
 pub use lexer::ScannedFile;
 pub use lints::{run_lints, Allowlist, LINTS};
 pub use locks::{run_lock_lints, CONCURRENCY_LEDGER, LOCK_LINTS};

@@ -27,7 +27,7 @@
 use crate::cfg::build_cfg;
 use crate::diag::{Diagnostic, Severity};
 use crate::effects::{EffectModel, EffectSet, FnInfo};
-use crate::hotpath::{Justification, Justifications};
+use crate::hotpath::{Justification, Justifications, STUB_REASON};
 use crate::resolve::Workspace;
 use crate::symbols::{SymbolKind, TokKind, Token};
 use std::collections::{BTreeMap, BTreeSet};
@@ -443,12 +443,27 @@ impl LockCx<'_> {
     }
 
     /// Records a required ledger entry (deduplicated), returning whether
-    /// the current ledger already covers it.
+    /// the current ledger already covers it. A covering entry whose
+    /// reason is still the [`STUB_REASON`] placeholder is flagged as a
+    /// hard finding: a stub is scaffolding, not a justification.
     fn require(&mut self, lint: &str, f: &FnInfo, source: &str) -> bool {
         let func = f.qualified();
         let covered = self.just.covers(lint, &f.crate_name, &func, source);
         if let Some(i) = covered {
             self.used.insert(i);
+            if self.just.entries[i].reason == STUB_REASON {
+                let line = f.span.line;
+                self.diag(
+                    "stub-justification",
+                    f,
+                    line,
+                    format!(
+                        "ledger entry `{lint} {} {func} {source}` still carries the \
+                         `--update-justify` stub reason; write a real justification",
+                        f.crate_name
+                    ),
+                );
+            }
         }
         let entry = match covered {
             Some(i) => self.just.entries[i].clone(),
@@ -458,7 +473,7 @@ impl LockCx<'_> {
                 func,
                 source: source.to_string(),
                 tag: None,
-                reason: "TODO: justify".to_string(),
+                reason: STUB_REASON.to_string(),
             },
         };
         if !self.required.contains(&entry) {

@@ -103,6 +103,32 @@ fn stale_ledger_entries_are_flagged() {
 }
 
 #[test]
+fn unedited_update_justify_stub_is_a_hard_finding() {
+    let mut just = full_ledger();
+    // Degrade a real justification back to the scaffold `--update-justify`
+    // writes: the entry still *covers* the finding, so without the stub
+    // lint the gate would silently pass on placeholder text.
+    let locate = just
+        .entries
+        .iter_mut()
+        .find(|e| e.func == "Engine::locate")
+        .expect("fixture ledger has the locate entry");
+    locate.reason = nucache_audit::STUB_REASON.to_string();
+    let diags = run(&just);
+    let stubs = of_lint(&diags, "stub-justification");
+    assert!(
+        stubs.iter().any(|d| d.message.contains("Engine::locate")
+            && d.message.contains("write a real justification")),
+        "{diags:?}"
+    );
+    // The stubbed entry must not ALSO count as missing: the original
+    // lint stays suppressed (only the seeded push and the stub remain).
+    assert!(!of_lint(&diags, "panic-in-hot-path")
+        .iter()
+        .any(|d| d.message.contains("Engine::locate")));
+}
+
+#[test]
 fn findings_are_deterministic() {
     let a = run(&Justifications::default());
     let b = run(&Justifications::default());

@@ -162,6 +162,44 @@ fn ledgering_one_finding_leaves_the_others() {
 }
 
 #[test]
+fn unedited_update_justify_stubs_are_hard_findings() {
+    // Degrade one lock entry and one atomic entry back to the scaffold
+    // reason `--update-justify` writes. Both still cover their findings
+    // (the original lints stay suppressed), but each must surface as a
+    // `stub-justification` error so the gate cannot pass on placeholders.
+    let mut just = full_ledger();
+    for e in &mut just.entries {
+        if e.func == "Pair::twice" || (e.lint == "atomic-ordering" && e.func == "Pair::consume") {
+            e.reason = nucache_audit::STUB_REASON.to_string();
+        }
+    }
+
+    let lock_diags = run_locks(&just);
+    let lock_stubs = of_lint(&lock_diags, "stub-justification");
+    assert!(
+        lock_stubs.iter().any(|d| d.message.contains("Pair::twice")
+            && d.message.contains("write a real justification")),
+        "{lock_diags:?}"
+    );
+    assert!(
+        !lock_diags.iter().any(|d| d.message.contains("`Pair::twice` re-acquires")),
+        "a stubbed entry still covers — the original lint stays suppressed: {lock_diags:?}"
+    );
+
+    let atomic_diags = run_atomics(&just);
+    let atomic_stubs = of_lint(&atomic_diags, "stub-justification");
+    assert!(
+        atomic_stubs.iter().any(|d| d.message.contains("Pair::consume")
+            && d.message.contains("field:Pair.c:load:Acquire")),
+        "{atomic_diags:?}"
+    );
+    assert!(
+        !atomic_diags.iter().any(|d| d.message.contains("`load(Acquire)` on `field:Pair.c`")),
+        "{atomic_diags:?}"
+    );
+}
+
+#[test]
 fn findings_are_deterministic() {
     let first = run_locks(&Justifications::default());
     let second = run_locks(&Justifications::default());

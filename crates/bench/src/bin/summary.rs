@@ -16,14 +16,17 @@
 //!
 //! ```text
 //! summary [--out PATH] [--label NAME] [--baseline PATH] \
-//!         [--check PATH [--max-regress FRAC]]
+//!         [--threaded PATH] [--check PATH [--max-regress FRAC]]
 //! ```
 //!
 //! `--baseline` embeds a previous summary's measurements under
-//! `"baseline"` (the before/after record each PR commits). `--check`
-//! compares this run against a committed summary and exits non-zero if
-//! either workload's accesses/sec fell by more than `--max-regress`
-//! (default 0.30) — the CI regression gate.
+//! `"baseline"` (the before/after record each PR commits). `--threaded`
+//! embeds a `loadgen` run's JSON (the threaded closed-loop sweep) under
+//! `"threaded"`. `--check` compares this run against a committed
+//! summary and exits non-zero if either workload's accesses/sec fell by
+//! more than `--max-regress` (default 0.30) — the CI regression gate
+//! (the `threaded` section is informational: wall-clock-sleep-bound
+//! numbers regress with host scheduling, not with code).
 
 use nucache_bench::fill_find_churn;
 use nucache_cache::{CacheGeometry, SetArray};
@@ -122,6 +125,7 @@ fn run() -> Result<(), String> {
     let mut out_path = None;
     let mut label = "summary".to_string();
     let mut baseline_path = None;
+    let mut threaded_path = None;
     let mut check_path = None;
     let mut max_regress = 0.30f64;
     let mut args = std::env::args().skip(1);
@@ -131,6 +135,7 @@ fn run() -> Result<(), String> {
             "--out" => out_path = Some(value("--out")?),
             "--label" => label = value("--label")?,
             "--baseline" => baseline_path = Some(value("--baseline")?),
+            "--threaded" => threaded_path = Some(value("--threaded")?),
             "--check" => check_path = Some(value("--check")?),
             "--max-regress" => {
                 max_regress =
@@ -139,7 +144,7 @@ fn run() -> Result<(), String> {
             "--help" => {
                 println!(
                     "summary [--out PATH] [--label NAME] [--baseline PATH] \
-                     [--check PATH [--max-regress FRAC]]"
+                     [--threaded PATH] [--check PATH [--max-regress FRAC]]"
                 );
                 return Ok(());
             }
@@ -168,6 +173,11 @@ fn run() -> Result<(), String> {
         ("fill_find_churn", churn.to_json()),
         ("quick_run_all", run_all.to_json()),
     ];
+    if let Some(path) = &threaded_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let doc = parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        fields.push(("threaded", doc));
+    }
     if let Some(path) = &baseline_path {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let doc = parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;

@@ -9,10 +9,16 @@
 //! * [`mixed_pattern`] — the loop+scan pattern used across policy
 //!   benches, pre-generated so benches measure the cache, not the RNG;
 //! * [`fill_find_churn`] — the steady-state tag-array churn loop shared
-//!   by the Criterion bench and the `summary` perf-trajectory binary.
+//!   by the Criterion bench and the `summary` perf-trajectory binary;
+//! * [`loadgen`] — the closed-loop threaded load generator driving the
+//!   concurrent sharded front-end against a lock-striped LRU baseline
+//!   (the `loadgen` binary and the `threaded` section of
+//!   `BENCH_<n>.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod loadgen;
 
 use nucache_cache::meta::LineMeta;
 use nucache_cache::{BasicCache, ReplacementPolicy, SetArray, SharedLlc};

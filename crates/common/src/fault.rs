@@ -53,6 +53,10 @@ pub enum FaultSite {
     TelemetryWrite,
     /// A trace file read yields a malformed record.
     TraceRecord,
+    /// A load-generator request batch panics mid-batch while holding a
+    /// shard lock (exercises poisoned-shard recovery in the concurrent
+    /// cache front-end).
+    ServeBatch,
 }
 
 impl FaultSite {
@@ -63,6 +67,7 @@ impl FaultSite {
             FaultSite::TelemetryCreate => 0x74_63_72_74, // "tcrt"
             FaultSite::TelemetryWrite => 0x74_77_72_74,  // "twrt"
             FaultSite::TraceRecord => 0x74_72_63_65,     // "trce"
+            FaultSite::ServeBatch => 0x73_72_76_62,      // "srvb"
         }
     }
 
@@ -75,6 +80,9 @@ impl FaultSite {
             // Per-record: traces have thousands of records, so the rate
             // is low enough that short reads often survive.
             FaultSite::TraceRecord => 1.0 / 1024.0,
+            // Per-batch: a short smoke run issues tens of batches per
+            // thread, so several shards get poisoned and recovered.
+            FaultSite::ServeBatch => 0.125,
         }
     }
 
@@ -85,6 +93,7 @@ impl FaultSite {
             FaultSite::TelemetryCreate => "telemetry-create",
             FaultSite::TelemetryWrite => "telemetry-write",
             FaultSite::TraceRecord => "trace-record",
+            FaultSite::ServeBatch => "serve-batch",
         }
     }
 }

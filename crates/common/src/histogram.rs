@@ -158,9 +158,26 @@ impl Log2Histogram {
         self.total += other.total;
     }
 
-    /// Approximate p-quantile of the distribution (`0.0..=1.0`), using the
-    /// upper edge of the bucket where the quantile falls. Returns `None`
-    /// for an empty histogram or when the quantile lands in overflow.
+    /// Lower edge of the overflow region: samples of this value or more
+    /// land in the overflow counter rather than a regular bucket. This
+    /// is the saturating value [`quantile`](Self::quantile) reports when
+    /// the requested quantile falls in overflow.
+    pub fn overflow_edge(&self) -> u64 {
+        1u64 << (self.buckets.len() - 1)
+    }
+
+    /// Approximate p-quantile of the distribution (`0.0..=1.0`, clamped),
+    /// using the upper edge of the bucket where the quantile falls.
+    ///
+    /// Returns `None` only for an empty histogram. When the quantile
+    /// lands in the overflow region the result **saturates** to
+    /// [`overflow_edge`](Self::overflow_edge) — a lower bound on the true
+    /// value — rather than dropping the tail: a p99 that silently
+    /// returned `None` for overflowing latencies would hide exactly the
+    /// samples it exists to surface. `p = 0.0` reports the first
+    /// non-empty bucket's edge (the minimum sample's bucket); `p = 1.0`
+    /// reports the last non-empty bucket's edge, or the overflow edge if
+    /// any sample overflowed.
     pub fn quantile(&self, p: f64) -> Option<u64> {
         if self.total == 0 {
             return None;
@@ -169,7 +186,10 @@ impl Log2Histogram {
         // lives in std and this crate also builds for `no_std` targets.
         let scaled = p.clamp(0.0, 1.0) * self.total as f64;
         let trunc = scaled as u64;
-        let target = if scaled > trunc as f64 { trunc + 1 } else { trunc };
+        let ceil = if scaled > trunc as f64 { trunc + 1 } else { trunc };
+        // At least one sample must be covered, so p = 0.0 lands on the
+        // minimum sample's bucket instead of an unconditional bucket 0.
+        let target = ceil.max(1);
         let mut acc = 0u64;
         for (i, &count) in self.buckets.iter().enumerate() {
             acc += count;
@@ -177,7 +197,7 @@ impl Log2Histogram {
                 return Some(Self::bucket_range(i).1 - 1);
             }
         }
-        None
+        Some(self.overflow_edge())
     }
 }
 
@@ -264,6 +284,35 @@ mod tests {
         assert!(q25 < q90);
         assert!(h.quantile(0.0).is_some());
         assert!(Log2Histogram::new(4).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_p0_reports_the_minimum_samples_bucket() {
+        let mut h = Log2Histogram::new(16);
+        h.record_n(100, 10); // bucket 7: [64,128)
+        assert_eq!(h.quantile(0.0), Some(127), "p=0 must not report empty bucket 0");
+        assert_eq!(h.quantile(1.0), Some(127));
+    }
+
+    #[test]
+    fn quantile_saturates_into_overflow() {
+        let mut h = Log2Histogram::new(4); // regular buckets cover [0,8); overflow edge 8
+        assert_eq!(h.overflow_edge(), 8);
+        h.record_n(2, 90);
+        h.record_n(1_000_000, 10); // overflow
+                                   // p50 sits in the regular mass; p99 lands in overflow and must
+                                   // saturate to the overflow lower edge instead of vanishing.
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.99), Some(8));
+        assert_eq!(h.quantile(1.0), Some(8));
+        // All-overflow distribution: every quantile saturates.
+        let mut all_over = Log2Histogram::new(4);
+        all_over.record(5_000);
+        assert_eq!(all_over.quantile(0.0), Some(8));
+        assert_eq!(all_over.quantile(1.0), Some(8));
+        // Out-of-range p clamps rather than panicking or escaping.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

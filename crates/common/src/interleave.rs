@@ -197,6 +197,7 @@ impl Sched {
             .enumerate()
             .filter(|(_, r)| matches!(r, Run::Runnable))
             .map(|(i, _)| i)
+            // audit:allow-alloc(interleave shim scheduler state, cfg-gated out of release builds)
             .collect();
         if enabled.is_empty() {
             return None;
@@ -207,6 +208,7 @@ impl Sched {
         let k = st.trace.len();
         let chosen_tid = if let Some(&want) = st.replay.get(k) {
             if !enabled.contains(&want) {
+                // audit:allow-alloc(interleave shim abort report, cfg-gated out of release builds)
                 st.abort = Some(format!(
                     "nondeterministic model: replayed choice t{want} not in enabled set {enabled:?}"
                 ));
@@ -220,6 +222,7 @@ impl Sched {
             enabled[0]
         };
         let chosen = enabled.iter().position(|&t| t == chosen_tid).unwrap_or(0);
+        // audit:allow-alloc(interleave shim decision trace, cfg-gated out of release builds)
         st.trace.push(Decision { enabled, current: st.current, chosen });
         Some(chosen_tid)
     }

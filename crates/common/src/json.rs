@@ -218,8 +218,12 @@ impl From<String> for JsonValue {
 fn write_num(n: f64, out: &mut String) {
     if !n.is_finite() {
         out.push_str("null"); // JSON has no NaN/Inf; null is the convention
-    } else if n.fract() == 0.0 && n.abs() < 9e15 {
-        out.push_str(&format!("{}", n as i64));
+    } else if n.fract() == 0.0 {
+        // Integer-valued: `{n:.0}` prints the exact decimal expansion of
+        // the f64 at any magnitude. A cast through i64 would saturate
+        // beyond ±2^63, silently corrupting large u64 counters (which
+        // arrive here via `From<u64>`).
+        out.push_str(&format!("{n:.0}"));
     } else {
         out.push_str(&format!("{n}"));
     }
@@ -510,6 +514,50 @@ mod tests {
     fn integers_emit_without_fraction() {
         assert_eq!(JsonValue::from(1_000_000u64).to_string_compact(), "1000000");
         assert_eq!(JsonValue::from(0.25).to_string_compact(), "0.25");
+    }
+
+    #[test]
+    fn huge_integers_emit_every_digit() {
+        // Above the old 9e15 cutoff the writer used to fall through to
+        // `{}` and, worse, an i64 cast path; both must emit the exact
+        // value. 2^63 and 2^64 are exactly representable in f64.
+        assert_eq!(JsonValue::from(1u64 << 53).to_string_compact(), "9007199254740992");
+        assert_eq!(
+            JsonValue::from(9_300_000_000_000_000u64).to_string_compact(),
+            "9300000000000000"
+        );
+        assert_eq!(
+            JsonValue::from(9_223_372_036_854_775_808.0f64).to_string_compact(),
+            "9223372036854775808"
+        );
+        assert_eq!(
+            JsonValue::from(18_446_744_073_709_551_616.0f64).to_string_compact(),
+            "18446744073709551616"
+        );
+        assert_eq!(
+            JsonValue::from(-9_223_372_036_854_775_808.0f64).to_string_compact(),
+            "-9223372036854775808"
+        );
+    }
+
+    #[test]
+    fn huge_integers_round_trip_at_the_boundaries() {
+        // Every boundary the writer branches on: the last exact u64
+        // (2^53), the old cutoff's neighborhood, i64::MIN/MAX magnitude,
+        // the u64 range edge, and far beyond any integer type.
+        for v in [
+            (1u64 << 53) as f64,
+            9e15,
+            9.3e15,
+            9_223_372_036_854_775_808.0,
+            -9_223_372_036_854_775_808.0,
+            18_446_744_073_709_551_616.0,
+            1e300,
+        ] {
+            let doc = JsonValue::obj(vec![("n", JsonValue::Num(v))]);
+            let back = parse(&doc.to_string_compact()).expect("writer emits valid JSON");
+            assert_eq!(back.get("n").and_then(JsonValue::as_f64), Some(v), "value {v}");
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use fault::{active_fault_plan, set_fault_plan, FaultPlan, FaultSite};
 pub use histogram::Log2Histogram;
 #[cfg(feature = "std")]
 pub use json::JsonValue;
-pub use rng::{DetRng, FastRange};
+pub use rng::{mix64, DetRng, FastRange};
 pub use stats::CacheStats;
 #[cfg(feature = "std")]
 pub use telemetry::{CounterSink, Event, EventSink, JsonlSink, NullSink};

@@ -34,10 +34,7 @@ impl DetRng {
     /// identical (seed, label) pairs give identical streams.
     pub fn substream(seed: u64, label: u64) -> Self {
         // SplitMix64-style mixing keeps nearby labels uncorrelated.
-        let mut z = seed ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        DetRng::seed(z ^ (z >> 31))
+        DetRng::seed(mix64(seed ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
     }
 
     /// Next raw 64-bit value.
@@ -110,6 +107,23 @@ impl DetRng {
     }
 }
 
+/// The SplitMix64 finalizer: a cheap bijective avalanche over `u64`.
+///
+/// Every output bit depends on every input bit, so sequential or
+/// low-entropy inputs (keys, labels, counters) spread uniformly over the
+/// full range. [`DetRng::substream`] uses it to decorrelate stream
+/// labels; the concurrent cache front-end uses it to pick a shard from a
+/// key whose low bits also index the kernel's set array (without the
+/// mix, shard choice and set index would correlate and skew occupancy).
+#[inline]
+#[must_use]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A uniform integer range with a precomputed Granlund–Montgomery
 /// reciprocal, so repeated draws replace the `x % span` hardware divide
 /// with a widening multiply plus one conditional subtract.
@@ -171,8 +185,14 @@ impl FastRange {
     /// With `m = floor(2^64/span)`, `q = (x*m) >> 64` satisfies
     /// `q ∈ {x/span - 1, x/span}`, so `x - q*span < 2*span` and a single
     /// conditional subtract recovers the exact remainder.
+    ///
+    /// Public because it doubles as a division-free hash-to-bucket
+    /// reduction: `FastRange::below(n).reduce(mix64(key))` maps a key
+    /// uniformly onto `n` buckets (the concurrent front-end's shard
+    /// routing) with the same two-instruction cost as the RNG path.
     #[inline]
-    fn reduce(&self, x: u64) -> u64 {
+    #[must_use]
+    pub fn reduce(&self, x: u64) -> u64 {
         if self.magic == 0 {
             // Power-of-two span (mask) or full-range (span == 0: the
             // wrapping sub makes the mask u64::MAX, i.e. `x` unchanged).

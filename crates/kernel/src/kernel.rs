@@ -138,6 +138,52 @@ pub struct ClassSnapshot<C> {
     pub p90: Option<u64>,
 }
 
+/// Everything one deferred selection epoch needs, taken out of the
+/// kernel by [`NucacheKernel::take_epoch_inputs`] so the selection can
+/// be computed with no access to the kernel at all (in the concurrent
+/// front-end: outside the shard lock), then handed back to
+/// [`NucacheKernel::install_selection`].
+#[derive(Debug, Clone)]
+pub struct EpochInputs<C> {
+    /// The epoch this take opened (1-based).
+    epoch: u64,
+    deli_ways: usize,
+    strategy: SelectionStrategy,
+    /// Per-epoch selection seed (`config.seed ^ epoch`).
+    seed: u64,
+    /// Access denominator of the decayed window, as the selector saw it.
+    accesses: u64,
+    candidates: Vec<Candidate<C>>,
+    /// Pre-decay telemetry snapshot with the selection-dependent fields
+    /// left at their previous-epoch values; install patches them.
+    summary: Option<EpochSummary<C>>,
+}
+
+impl<C: Copy + Ord + Debug> EpochInputs<C> {
+    /// The selection epoch these inputs belong to (1-based).
+    pub const fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The candidate classes the selection will choose from.
+    pub fn candidates(&self) -> &[Candidate<C>] {
+        &self.candidates
+    }
+
+    /// Runs the selection — a pure function of these inputs, so it can
+    /// execute on any thread. Bit-identical to what the inline path
+    /// would have computed at the same epoch boundary.
+    pub fn compute(&self) -> Selection<C> {
+        select_classes(
+            &self.candidates,
+            self.deli_ways,
+            self.accesses.max(1),
+            self.strategy,
+            self.seed,
+        )
+    }
+}
+
 /// Counter snapshots for the audit oracle's monotonicity checks.
 ///
 /// Each field records the value at the last check; counters must never
@@ -256,6 +302,12 @@ pub struct NucacheKernel<V, C = crate::InsertionClass> {
     deli_hits: u64,
     deli_fills: u64,
     telemetry: bool,
+    /// With deferred selection on, the boundary access snapshots the
+    /// epoch inputs here instead of running the selection computation;
+    /// an external driver takes them, computes off-thread, installs.
+    deferred: bool,
+    /// The snapshot awaiting [`NucacheKernel::take_epoch_inputs`].
+    pending_inputs: Option<EpochInputs<C>>,
     pending_epochs: Vec<EpochSummary<C>>,
     audit: Option<EpochAudit>,
     mirror: Option<Mirror>,
@@ -301,6 +353,8 @@ impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
             deli_hits: 0,
             deli_fills: 0,
             telemetry: false,
+            deferred: false,
+            pending_inputs: None,
             pending_epochs: Vec::new(),
             audit: None,
             mirror: None,
@@ -616,13 +670,32 @@ impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
     fn epoch_tick(&mut self) {
         self.accesses_in_epoch += 1;
         if self.accesses_in_epoch >= self.config.epoch_len {
+            if self.deferred {
+                // Deferred mode: snapshot the selection inputs at this
+                // exact point — the same point the inline path runs the
+                // whole selection — and leave them for an external
+                // driver ([`Self::take_epoch_inputs`]). Only one
+                // snapshot is held: if the driver has not taken the
+                // previous one yet, accesses keep accumulating and the
+                // first tick after the take opens the next epoch.
+                if self.pending_inputs.is_none() {
+                    self.accesses_in_epoch = 0;
+                    let inputs = self.build_epoch_inputs();
+                    self.pending_inputs = Some(inputs);
+                }
+                return;
+            }
             self.accesses_in_epoch = 0;
             self.run_selection();
         }
     }
 
-    // audit:allow-alloc(epoch-boundary selection scratch, amortized over epoch_len accesses)
-    fn run_selection(&mut self) {
+    /// Opens a selection epoch: bumps the epoch counter and builds the
+    /// candidate list from the pre-decay observation state. Returns the
+    /// ranked `(class, fills)` list, the candidates and the access
+    /// denominator the selector pairs with them.
+    #[allow(clippy::type_complexity)]
+    fn begin_epoch(&mut self) -> (Vec<(C, u64)>, Vec<Candidate<C>>, u64) {
         self.epochs += 1;
         let pool = match self.config.strategy {
             SelectionStrategy::Exhaustive => self.config.oracle_pool,
@@ -645,7 +718,27 @@ impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
         // Fill counts and the access denominator are both global over the
         // same decayed window, so their ratio is the per-set fill rate;
         // the monitor's per-set-clock histograms use the same currency.
-        let accesses_global = self.window_accesses;
+        (top, candidates, self.window_accesses)
+    }
+
+    /// Closes a selection epoch: decays every observation structure and
+    /// refreshes the audit counter snapshots.
+    fn decay_window(&mut self) {
+        self.tracker.decay();
+        self.monitor.decay();
+        self.deli_fills_by_class.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+        self.window_accesses /= 2;
+        if self.audit.is_some() {
+            self.audit_snapshot();
+        }
+    }
+
+    // audit:allow-alloc(epoch-boundary selection scratch, amortized over epoch_len accesses)
+    fn run_selection(&mut self) {
+        let (top, candidates, accesses_global) = self.begin_epoch();
         self.last_selection = select_classes(
             &candidates,
             self.deli_ways,
@@ -659,17 +752,126 @@ impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
             self.pending_epochs.push(summary);
         }
         if self.audit.is_some() {
-            self.audit_epoch_check(&candidates);
+            self.audit_epoch_observe();
+            self.audit_selection_check(&candidates, accesses_global);
         }
-        self.tracker.decay();
-        self.monitor.decay();
-        self.deli_fills_by_class.retain(|_, c| {
-            *c /= 2;
-            *c > 0
-        });
-        self.window_accesses /= 2;
+        self.decay_window();
+    }
+
+    // ---- deferred selection (concurrent front-end) ------------------------
+
+    /// Switches epoch-boundary selection between inline (the default:
+    /// the boundary access runs selection before returning) and
+    /// deferred: the boundary access snapshots the selection *inputs*
+    /// (candidates, access denominator, telemetry) at the exact point
+    /// the inline path would have run selection, then marks it
+    /// [due](Self::selection_due); an external driver calls
+    /// [`take_epoch_inputs`](Self::take_epoch_inputs), runs
+    /// [`EpochInputs::compute`] with no access to the kernel at all,
+    /// and [installs](Self::install_selection) the result.
+    ///
+    /// Deferred mode exists for concurrent serving: the selection
+    /// *computation* is the expensive epoch task (O(candidates ×
+    /// deli_ways × buckets), exponential for the exhaustive oracle), so
+    /// a sharded front-end runs it on a background thread outside the
+    /// shard lock. The boundary access still pays the O(live classes)
+    /// snapshot-and-decay, exactly as it does inline. Between the
+    /// snapshot and the install the kernel keeps admitting DeliWays
+    /// entries under the previous chosen set — a bounded staleness of
+    /// however many accesses land in that gap.
+    ///
+    /// Disabling deferred mode discards any pending snapshot (that
+    /// epoch's selection never installs; the chosen set persists).
+    pub fn set_deferred_selection(&mut self, deferred: bool) {
+        self.deferred = deferred;
+        if !deferred {
+            self.pending_inputs = None;
+        }
+    }
+
+    /// Whether epoch selection is deferred to an external driver.
+    pub const fn deferred_selection(&self) -> bool {
+        self.deferred
+    }
+
+    /// Whether a deferred epoch snapshot is waiting to be
+    /// [taken](Self::take_epoch_inputs). Always `false` in inline mode.
+    pub const fn selection_due(&self) -> bool {
+        self.pending_inputs.is_some()
+    }
+
+    /// Snapshots one selection epoch: opens the epoch, builds the
+    /// candidate list and telemetry from the pre-decay observation
+    /// state, observes the audit invariants, then decays the window —
+    /// the inline boundary sequence minus the selection computation and
+    /// install, which the caller performs from the returned value.
+    // audit:allow-alloc(epoch-boundary selection scratch, amortized over epoch_len accesses)
+    fn build_epoch_inputs(&mut self) -> EpochInputs<C> {
+        let (top, candidates, accesses) = self.begin_epoch();
+        // Telemetry values must be what the selector saw (pre-decay);
+        // the selection-dependent fields are patched in at install.
+        let summary = if self.telemetry { Some(self.epoch_summary(&top)) } else { None };
         if self.audit.is_some() {
-            self.audit_snapshot();
+            self.audit_epoch_observe();
+        }
+        self.decay_window();
+        EpochInputs {
+            epoch: self.epochs,
+            deli_ways: self.deli_ways,
+            strategy: self.config.strategy,
+            seed: self.config.seed ^ self.epochs,
+            accesses,
+            candidates,
+            summary,
+        }
+    }
+
+    /// Takes the pending deferred epoch snapshot, if any: the caller
+    /// runs [`EpochInputs::compute`] with no access to the kernel at
+    /// all, then hands the result back via
+    /// [`install_selection`](Self::install_selection).
+    ///
+    /// The snapshot was built — and the observation window decayed — by
+    /// the access that crossed the epoch boundary, at the exact point
+    /// the inline path runs selection, so the computed selection is
+    /// bit-identical to inline's. Accesses since that boundary count
+    /// toward the next epoch, again exactly as inline.
+    pub fn take_epoch_inputs(&mut self) -> Option<EpochInputs<C>> {
+        self.pending_inputs.take()
+    }
+
+    /// Installs a selection computed from
+    /// [`take_epoch_inputs`](Self::take_epoch_inputs): swaps the chosen
+    /// class set, completes and buffers the epoch telemetry, and (while
+    /// auditing) verifies the selection objective against the taken
+    /// candidates.
+    ///
+    /// The installed selection is bit-identical to what the inline path
+    /// would have chosen (the snapshot is built at the inline boundary
+    /// point). The only inline/deferred divergence is staleness of the
+    /// chosen set between the boundary and this install: accesses in
+    /// that gap — including the tail of the boundary access itself, if
+    /// it retires a MainWays entry (e.g. a DeliWays-hit promotion) —
+    /// make their DeliWays admission decisions under the previous
+    /// chosen set. The equivalence tests pin this: with installs driven
+    /// before the next chosen-consulting operation, deferred equals
+    /// inline bit-for-bit, telemetry included.
+    pub fn install_selection(&mut self, inputs: EpochInputs<C>, selection: Selection<C>) {
+        self.chosen = selection.chosen.iter().copied().collect();
+        self.last_selection = selection;
+        if self.audit.is_some() {
+            self.audit_selection_check(&inputs.candidates, inputs.accesses);
+        }
+        if self.telemetry {
+            if let Some(mut summary) = inputs.summary {
+                summary.chosen = self.chosen_classes();
+                summary.expected_hits = self.last_selection.expected_hits;
+                summary.extra_lifetime = self.last_selection.extra_lifetime;
+                for snap in &mut summary.top_classes {
+                    snap.chosen = self.chosen.contains(&snap.class);
+                }
+                self.pending_epochs.push(summary);
+            }
         }
     }
 
@@ -804,12 +1006,34 @@ impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
         a.matched = mat;
     }
 
-    /// Epoch-boundary oracle checks, run after selection but before the
-    /// decay so occupancy and monitor state are what the selector saw.
-    fn audit_epoch_check(&mut self, candidates: &[Candidate<C>]) {
+    /// Epoch-boundary oracle checks over the *observation* state, run
+    /// before the decay so occupancy and monitor state are what the
+    /// selector saw. Selection-independent, so the deferred path can run
+    /// it at take time.
+    fn audit_epoch_observe(&mut self) {
         let capacity = self.deli_capacity();
         let occ = self.deli_occupancy();
         assert!(occ <= capacity, "audit: DeliWays occupancy {occ} exceeds capacity {capacity}");
+        // Every monitor match consumes a buffered eviction recorded
+        // either in this decay window or already buffered when it
+        // started.
+        let buffer_cap = (self.config.monitor_depth * self.monitor.sampled_sets()) as u64;
+        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
+        let a = self.audit.as_mut().expect("epoch check runs only while auditing");
+        let window_matched = mat.saturating_sub(a.window_matched);
+        let window_recorded = rec.saturating_sub(a.window_recorded);
+        assert!(
+            window_matched <= window_recorded + buffer_cap,
+            "audit: {window_matched} monitor matches cannot come from {window_recorded} \
+             recorded evictions plus a buffer of {buffer_cap}"
+        );
+        a.epoch_checks += 1;
+    }
+
+    /// Epoch-boundary oracle checks over the *selection* outcome, against
+    /// the candidates and access denominator the selector actually used
+    /// (the deferred path replays them from the taken inputs).
+    fn audit_selection_check(&mut self, candidates: &[Candidate<C>], accesses: u64) {
         let from_selection: BTreeSet<C> = self.last_selection.chosen.iter().copied().collect();
         assert!(
             self.chosen == from_selection,
@@ -829,7 +1053,7 @@ impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
                 candidates,
                 &self.last_selection.chosen,
                 self.deli_ways,
-                self.window_accesses.max(1),
+                accesses.max(1),
             );
             assert_eq!(
                 recomputed,
@@ -837,20 +1061,6 @@ impl<V, C: Copy + Ord + Debug> NucacheKernel<V, C> {
                 "audit: selection objective not reproducible from the candidates"
             );
         }
-        // Every monitor match consumes a buffered eviction recorded
-        // either in this decay window or already buffered when it
-        // started.
-        let buffer_cap = (self.config.monitor_depth * self.monitor.sampled_sets()) as u64;
-        let (rec, mat) = (self.monitor.recorded(), self.monitor.matched());
-        let a = self.audit.as_mut().expect("epoch check runs only while auditing");
-        let window_matched = mat.saturating_sub(a.window_matched);
-        let window_recorded = rec.saturating_sub(a.window_recorded);
-        assert!(
-            window_matched <= window_recorded + buffer_cap,
-            "audit: {window_matched} monitor matches cannot come from {window_recorded} \
-             recorded evictions plus a buffer of {buffer_cap}"
-        );
-        a.epoch_checks += 1;
     }
 
     // ---- introspection ----------------------------------------------------

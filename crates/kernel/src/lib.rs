@@ -97,6 +97,10 @@
 //! - `std` *(default)* — implements [`std::error::Error`] for
 //!   [`ConfigError`]. Disable for `no_std + alloc` embedding:
 //!   `default-features = false`.
+//! - `concurrent` *(default, implies `std`)* — the sharded thread-safe
+//!   front-end ([`concurrent::ConcurrentNucache`]): keys hash to one of
+//!   N independently locked kernels, and a background epoch driver runs
+//!   each shard's cost-benefit selection outside the shard lock.
 //!
 //! # Observability
 //!
@@ -114,6 +118,8 @@
 extern crate alloc;
 
 pub mod class;
+#[cfg(feature = "concurrent")]
+pub mod concurrent;
 pub mod config;
 pub mod kernel;
 pub mod monitor;
@@ -126,7 +132,9 @@ pub use config::{
     DEFAULT_HISTOGRAM_BUCKETS, DEFAULT_MAX_CANDIDATES, DEFAULT_MONITOR_DEPTH,
     DEFAULT_MONITOR_SHIFT, DEFAULT_ORACLE_POOL, DEFAULT_SETS, DEFAULT_WAYS,
 };
-pub use kernel::{ClassSnapshot, EpochSummary, Evicted, Lookup, NucacheKernel, Region};
+pub use kernel::{
+    ClassSnapshot, EpochInputs, EpochSummary, Evicted, Lookup, NucacheKernel, Region,
+};
 pub use monitor::NextUseMonitor;
 pub use selector::{build_candidates, evaluate_chosen, select_classes, Candidate, Selection};
 pub use tracker::DelinquentTracker;
